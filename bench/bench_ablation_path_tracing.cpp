@@ -1,0 +1,83 @@
+// Ablation (§7.4 discussion): Traceroute vs INT path tracing.
+//
+// Traceroute consumes switch CPU, so switches cap their response rate; the
+// Agent falls back to cached (possibly stale or absent) paths, which starves
+// Algorithm 1 of evidence. INT is stamped by the data plane: every probe
+// record carries a fresh path. We localize the same switch fault under a
+// harshly rate-limited control plane and compare.
+#include "bench_util.h"
+
+namespace rpm {
+namespace {
+
+struct Result {
+  std::size_t records = 0;
+  std::size_t with_paths = 0;
+  bool localized = false;
+  bool correct = false;
+};
+
+Result run(bool use_int, double traceroute_budget_per_sec) {
+  host::ClusterConfig ccfg;
+  ccfg.fabric.step_interval = msec(1);
+  ccfg.traceroute_responses_per_sec = traceroute_budget_per_sec;
+  core::RPingmeshConfig rcfg;
+  rcfg.agent.use_int_telemetry = use_int;
+  bench::Deployment d(bench::default_clos(), ccfg, rcfg);
+
+  Result res;
+  d.rpm.analyzer().set_record_tap([&](const core::ProbeRecord& r) {
+    ++res.records;
+    if (r.path_known) ++res.with_paths;
+  });
+
+  d.cluster.run_for(sec(21));
+  LinkId victim;
+  std::size_t seen = 0;
+  for (const topo::Link& l : d.cluster.topology().links()) {
+    if (l.from.is_switch() && l.to.is_switch() && seen++ == 2) {
+      victim = l.id;
+      break;
+    }
+  }
+  d.faults.inject_corruption(victim, 0.6);
+  d.cluster.run_for(sec(41));
+
+  const auto* p = bench::find_problem(
+      *d.rpm.analyzer().last_report(),
+      core::ProblemCategory::kSwitchNetworkProblem);
+  if (p != nullptr) {
+    res.localized = !p->suspect_links.empty();
+    const LinkId peer = d.cluster.topology().link(victim).peer;
+    for (LinkId l : p->suspect_links) {
+      if (l == victim || l == peer) res.correct = true;
+    }
+  }
+  return res;
+}
+
+}  // namespace
+}  // namespace rpm
+
+int main() {
+  rpm::bench::print_header(
+      "Ablation: Traceroute vs INT path tracing under a starved switch "
+      "control plane (2 traceroute responses/s per switch)");
+  rpm::bench::print_row_header({"tracer", "records_with_path", "localized",
+                                "correct_link"});
+  for (const bool use_int : {false, true}) {
+    const rpm::Result r = rpm::run(use_int, 2.0);
+    char frac[32];
+    std::snprintf(frac, sizeof frac, "%.1f%%",
+                  r.records ? 100.0 * r.with_paths / r.records : 0.0);
+    std::printf("%-22s%-22s%-22s%-22s\n", use_int ? "INT" : "traceroute",
+                frac, r.localized ? "yes" : "NO",
+                r.correct ? "yes" : "NO");
+  }
+  std::printf(
+      "\nTakeaway: with the control plane rate-limited, traceroute leaves "
+      "most records\npathless and localization degrades or fails; INT keeps "
+      "every record traced. This is\nwhy the paper decoupled its path-tracing "
+      "module (§7.4).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Equation (1) reproduction: the minimum number of random 5-tuples k that
+// covers all N parallel ECMP paths with probability P, plus an empirical
+// Monte-Carlo check of the coverage actually achieved.
+#include <set>
+
+#include "bench_util.h"
+#include "core/controller.h"
+
+namespace rpm {
+namespace {
+
+double empirical_coverage(std::uint32_t n, std::uint32_t k, Rng& rng) {
+  const int trials = 20000;
+  int covered = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::set<std::uint32_t> seen;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      seen.insert(static_cast<std::uint32_t>(rng.uniform_int(0, n - 1)));
+    }
+    if (seen.size() == n) ++covered;
+  }
+  return static_cast<double>(covered) / trials;
+}
+
+void run() {
+  bench::print_header(
+      "Equation (1): tuples needed to cover N parallel ECMP paths");
+  bench::print_row_header({"N_paths", "k(P=0.90)", "k(P=0.99)", "k(P=0.999)",
+                           "empirical_cov@0.99"});
+  Rng rng(1234);
+  for (std::uint32_t n : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const auto k90 = core::equation1_min_tuples(n, 0.90);
+    const auto k99 = core::equation1_min_tuples(n, 0.99);
+    const auto k999 = core::equation1_min_tuples(n, 0.999);
+    std::printf("%-22u%-22u%-22u%-22u%-22.4f\n", n, k90, k99, k999,
+                empirical_coverage(n, k99, rng));
+  }
+
+  // And on a real topology: the Controller's per-ToR plan.
+  bench::Deployment d;
+  bench::print_header("Controller plan on the 3-tier Clos (P = 0.99)");
+  bench::print_row_header({"tor", "parallel_paths", "k_tuples"});
+  for (SwitchId tor : d.cluster.topology().tor_switches()) {
+    std::uint32_t n = 1;
+    for (SwitchId other : d.cluster.topology().tor_switches()) {
+      if (other == tor) continue;
+      n = std::max(n, core::count_parallel_paths(d.cluster.router(), tor,
+                                                 other));
+    }
+    std::printf("%-22s%-22u%-22u\n",
+                d.cluster.topology().switch_info(tor).name.c_str(), n,
+                d.rpm.controller().tuples_for_tor(tor));
+  }
+}
+
+}  // namespace
+}  // namespace rpm
+
+int main() {
+  rpm::run();
+  return 0;
+}

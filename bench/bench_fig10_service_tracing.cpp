@@ -1,0 +1,91 @@
+// Figure 10 reproduction: Service Tracing probes sent by one RNIC capture
+// the periodic All2All traffic of a DML job — RTT spikes exactly during the
+// communication phases and returns to baseline during compute, at a modest
+// 10 ms probing interval (thanks to per-round pinglist shuffling, §7.3).
+#include "bench_util.h"
+#include "common/stats.h"
+
+namespace rpm {
+namespace {
+
+void run() {
+  host::ClusterConfig ccfg;
+  ccfg.fabric.step_interval = usec(200);
+  bench::Deployment d(bench::default_clos(), ccfg);
+
+  traffic::DmlConfig dml;
+  dml.service = ServiceId{1};
+  dml.workers = {RnicId{0}, RnicId{2}, RnicId{4}, RnicId{6},
+                 RnicId{8}, RnicId{10}, RnicId{12}, RnicId{14}};
+  dml.pattern = traffic::CommPattern::kAllToAll;
+  dml.per_flow_gbps = 13.0;  // 7 flows/NIC: near line rate during comm
+  dml.compute_time = msec(1000);
+  dml.comm_bytes = 800'000'000;  // ~0.5 s comm phase
+  traffic::DmlService svc(d.cluster, dml);
+
+  // Tap service-tracing probes from one RNIC; bucket RTT per 100 ms.
+  struct Bucket {
+    PercentileWindow rtt;
+    bool comm = false;
+  };
+  std::vector<Bucket> buckets(80);  // 8 s of 100 ms buckets
+  const TimeNs t0 = sec(5);
+  d.rpm.analyzer().set_record_tap([&](const core::ProbeRecord& r) {
+    if (r.kind != core::ProbeKind::kServiceTracing) return;
+    if (r.prober != RnicId{0}) return;
+    if (r.status != core::ProbeStatus::kOk) return;
+    const auto idx = static_cast<std::size_t>((r.sent_at - t0) / msec(100));
+    if (idx < buckets.size()) {
+      buckets[idx].rtt.add(static_cast<double>(r.network_rtt));
+    }
+  });
+
+  svc.start();
+  d.cluster.run_for(t0);
+  // Mark comm phases while running.
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    d.cluster.run_for(msec(100));
+    buckets[i].comm = svc.in_comm_phase();
+  }
+
+  bench::print_header(
+      "Figure 10: per-100ms service-tracing RTT from one RNIC during "
+      "periodic All2All");
+  bench::print_row_header({"t_ms", "phase", "probes", "rtt_max_us"});
+  for (std::size_t i = 0; i < buckets.size(); i += 2) {
+    // Merge two buckets per row to keep the table compact.
+    PercentileWindow merged;
+    merged = buckets[i].rtt;
+    const double mx = std::max(buckets[i].rtt.percentile(1.0),
+                               buckets[i + 1].rtt.percentile(1.0));
+    const bool comm = buckets[i].comm || buckets[i + 1].comm;
+    std::printf("%-22zu%-22s%-22zu%-22.1f\n", i * 100,
+                comm ? "COMM" : "compute",
+                buckets[i].rtt.count() + buckets[i + 1].rtt.count(), mx / 1e3);
+  }
+
+  // Quantify the separation: tail RTT during comm vs compute.
+  PercentileWindow comm_rtt, idle_rtt;
+  for (auto& b : buckets) {
+    for (double q : {0.5, 0.9, 1.0}) {
+      if (b.rtt.count() == 0) continue;
+      (b.comm ? comm_rtt : idle_rtt).add(b.rtt.percentile(q));
+    }
+  }
+  std::printf(
+      "\ncomm-phase RTT p90 = %.1f us  vs  compute-phase RTT p90 = %.1f us\n",
+      comm_rtt.percentile(0.9) / 1e3, idle_rtt.percentile(0.9) / 1e3);
+  std::printf(
+      "Takeaway: probes riding the service 5-tuples light up exactly when "
+      "All2All\ncommunication does — hotspots are observable at 10 ms "
+      "probing without 1 ms overkill.\n");
+  svc.stop();
+}
+
+}  // namespace
+}  // namespace rpm
+
+int main() {
+  rpm::run();
+  return 0;
+}

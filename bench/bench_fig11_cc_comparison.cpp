@@ -1,0 +1,98 @@
+// Figure 11 reproduction.
+//
+// (left)  Tail network RTT of a service using All2All vs one using
+//         AllReduce: All2All's incast keeps queues (and tail RTT) far
+//         higher.
+// (right) The same All2All workload under commodity DCQCN vs a
+//         self-developed delay-based CC ("DelayCC"): the delay-based
+//         algorithm cuts tail RTT hard and improves iteration throughput —
+//         the comparison R-Pingmesh's RTT metrics made measurable.
+#include "bench_util.h"
+#include "cc/cc.h"
+
+namespace rpm {
+namespace {
+
+struct RunResult {
+  double rtt_p50_us = 0;
+  double rtt_p99_us = 0;
+  double iterations_per_min = 0;
+};
+
+RunResult run_service(traffic::CommPattern pattern,
+                      fabric::RateController* cc) {
+  host::ClusterConfig ccfg;
+  ccfg.fabric.step_interval = usec(200);
+  bench::Deployment d(bench::default_clos(), ccfg);
+  traffic::DmlConfig dml;
+  dml.service = ServiceId{1};
+  dml.workers = {RnicId{0}, RnicId{2}, RnicId{4}, RnicId{6},
+                 RnicId{8}, RnicId{10}, RnicId{12}, RnicId{14}};
+  dml.pattern = pattern;
+  dml.per_flow_gbps =
+      pattern == traffic::CommPattern::kAllToAll ? 14.0 : 90.0;
+  dml.compute_time = msec(100);
+  dml.comm_bytes = pattern == traffic::CommPattern::kAllToAll
+                       ? 250'000'000
+                       : 1'500'000'000;
+  dml.controller = cc;
+  traffic::DmlService svc(d.cluster, dml);
+  svc.start();
+  d.cluster.run_for(sec(81));  // settle + 3 analysis periods
+
+  RunResult res;
+  int periods = 0;
+  for (const auto& rep : d.rpm.analyzer().history()) {
+    for (const auto& [sid, sla] : rep.service_slas) {
+      if (sid != dml.service || sla.probes < 50) continue;
+      res.rtt_p50_us += sla.rtt_p50 / 1e3;
+      res.rtt_p99_us += sla.rtt_p99 / 1e3;
+      ++periods;
+    }
+  }
+  if (periods > 0) {
+    res.rtt_p50_us /= periods;
+    res.rtt_p99_us /= periods;
+  }
+  res.iterations_per_min =
+      static_cast<double>(svc.iterations_completed()) * 60.0 / 81.0;
+  svc.stop();
+  return res;
+}
+
+}  // namespace
+}  // namespace rpm
+
+int main() {
+  using rpm::traffic::CommPattern;
+
+  rpm::bench::print_header(
+      "Figure 11 (left): service-network RTT, AllReduce vs All2All (DCQCN)");
+  rpm::bench::print_row_header(
+      {"comm_mode", "rtt_p50_us", "rtt_p99_us", "iters_per_min"});
+  rpm::cc::Dcqcn dcqcn_l1, dcqcn_l2;
+  const auto ar = rpm::run_service(CommPattern::kAllReduceRing, &dcqcn_l1);
+  const auto a2a = rpm::run_service(CommPattern::kAllToAll, &dcqcn_l2);
+  std::printf("%-22s%-22.1f%-22.1f%-22.1f\n", "AllReduce", ar.rtt_p50_us,
+              ar.rtt_p99_us, ar.iterations_per_min);
+  std::printf("%-22s%-22.1f%-22.1f%-22.1f\n", "All2All", a2a.rtt_p50_us,
+              a2a.rtt_p99_us, a2a.iterations_per_min);
+
+  rpm::bench::print_header(
+      "Figure 11 (right): All2All under DCQCN vs delay-based CC");
+  rpm::bench::print_row_header(
+      {"cc_algorithm", "rtt_p50_us", "rtt_p99_us", "iters_per_min"});
+  rpm::cc::Dcqcn dcqcn_r;
+  rpm::cc::DelayCc delaycc;
+  const auto with_dcqcn = rpm::run_service(CommPattern::kAllToAll, &dcqcn_r);
+  const auto with_delay = rpm::run_service(CommPattern::kAllToAll, &delaycc);
+  std::printf("%-22s%-22.1f%-22.1f%-22.1f\n", "DCQCN", with_dcqcn.rtt_p50_us,
+              with_dcqcn.rtt_p99_us, with_dcqcn.iterations_per_min);
+  std::printf("%-22s%-22.1f%-22.1f%-22.1f\n", "DelayCC", with_delay.rtt_p50_us,
+              with_delay.rtt_p99_us, with_delay.iterations_per_min);
+  std::printf(
+      "\nExpected shape (paper): All2All tail RTT >> AllReduce; the "
+      "self-developed CC slashes\ntail RTT vs DCQCN at comparable or better "
+      "training throughput.\n");
+  return 0;
+}

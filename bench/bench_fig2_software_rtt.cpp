@@ -1,0 +1,59 @@
+// Figure 2 reproduction: P99 software RTT measured by (TCP) Pingmesh tracks
+// the hosts' CPU load, not the network. R-Pingmesh's hardware-timestamped
+// network RTT stays flat across the same sweep because host scheduling
+// delays cancel out of (⑤-②)-(④-③).
+//
+// Paper shape to reproduce: software P99 RTT rises by orders of magnitude
+// with load; hardware network RTT does not.
+#include "common/stats.h"
+#include "pingmesh/pingmesh.h"
+
+#include "bench_util.h"
+
+namespace rpm {
+namespace {
+
+void run() {
+  bench::Deployment d;
+  pingmesh::SoftwarePingmesh software(d.cluster);
+  d.cluster.run_for(sec(2));
+
+  bench::print_header(
+      "Figure 2: P99 software RTT (Pingmesh) vs hardware network RTT "
+      "(R-Pingmesh) as host load varies");
+  bench::print_row_header({"host_load", "sw_p99_rtt_us", "hw_p99_rtt_us",
+                           "hw_p99_procdelay_us"});
+
+  for (double load : {0.1, 0.3, 0.5, 0.7, 0.85, 0.95}) {
+    for (const topo::HostInfo& h : d.cluster.topology().hosts()) {
+      d.cluster.host(h.id).set_cpu_load(load);
+    }
+    // Software probes between a fixed cross-pod pair.
+    PercentileWindow sw;
+    for (int i = 0; i < 300; ++i) {
+      software.probe(RnicId{0}, RnicId{12},
+                     [&sw](const pingmesh::SoftwarePingResult& r) {
+                       if (r.ok) sw.add(static_cast<double>(r.software_rtt));
+                     });
+      d.cluster.run_for(msec(3));
+    }
+    // Let an R-Pingmesh analysis period complete under this load.
+    d.cluster.run_for(sec(21));
+    const auto* rep = d.rpm.analyzer().last_report();
+    std::printf("%-22.2f%-22.1f%-22.1f%-22.1f\n", load, sw.percentile(0.99) / 1e3,
+                rep->cluster_sla.rtt_p99 / 1e3,
+                rep->cluster_sla.proc_p99 / 1e3);
+  }
+  std::printf(
+      "\nTakeaway: software RTT balloons with load (Pingmesh cannot tell "
+      "host from network);\nR-Pingmesh's network RTT stays flat and the load "
+      "shows up where it belongs: processing delay.\n");
+}
+
+}  // namespace
+}  // namespace rpm
+
+int main() {
+  rpm::run();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 4 validation: the four-timestamp UD measurement recovers the true
+// network RTT with sub-microsecond accuracy even though every RNIC and host
+// clock has a random offset up to ±1 s and drift up to ±50 ppm — because
+// every term of (⑤-②)-(④-③) is a same-clock difference.
+//
+// Method: tap every completed probe, compute its analytic ground-truth RTT
+// from the traced path (propagation + serialization per hop on an otherwise
+// idle fabric, plus the RX DMA at each end, which real CQE timestamps also
+// include), and report the measurement-error distribution.
+//
+// For contrast we also show what naive cross-clock arithmetic (e.g. ③-②,
+// responder clock minus prober clock) would report: values on the order of
+// the clock offsets, ~6 orders of magnitude wrong.
+#include <cmath>
+
+#include "bench_util.h"
+#include "common/stats.h"
+
+namespace rpm {
+namespace {
+
+void run() {
+  bench::Deployment d;
+
+  PercentileWindow error_ns;
+  PercentileWindow rtt_us;
+  std::size_t completed = 0;
+  const TimeNs rx_dma = 2 * nsec(600);  // both recv CQEs include RX DMA
+
+  d.rpm.analyzer().set_record_tap([&](const core::ProbeRecord& r) {
+    if (r.status != core::ProbeStatus::kOk || !r.path_known) return;
+    // Ground truth from the traced path (the fabric is idle: no queueing).
+    TimeNs truth = rx_dma;
+    const auto& topo = d.cluster.topology();
+    for (const routing::Path* p : {&r.fwd_path, &r.rev_path}) {
+      for (LinkId l : p->links) {
+        const auto& link = topo.link(l);
+        truth += link.propagation +
+                 static_cast<TimeNs>(50.0 / link.capacity_Bps * 1e9);
+      }
+    }
+    error_ns.add(std::abs(static_cast<double>(r.network_rtt - truth)));
+    rtt_us.add(static_cast<double>(r.network_rtt) / 1e3);
+    ++completed;
+  });
+
+  d.cluster.run_for(sec(30));
+
+  bench::print_header(
+      "Figure 4 validation: per-probe |measured RTT - ground truth| over an "
+      "idle fabric");
+  bench::print_row_header({"metric", "value"});
+  std::printf("%-22s%-22zu\n", "probes_checked", completed);
+  std::printf("%-22s%-22.1f\n", "rtt_p50_us", rtt_us.percentile(0.5));
+  std::printf("%-22s%-22.1f\n", "rtt_p99_us", rtt_us.percentile(0.99));
+  std::printf("%-22s%-22.1f\n", "error_p50_ns", error_ns.percentile(0.5));
+  std::printf("%-22s%-22.1f\n", "error_p99_ns", error_ns.percentile(0.99));
+  std::printf("%-22s%-22.1f\n", "error_max_ns", error_ns.percentile(1.0));
+
+  bench::print_header("The clock chaos it survived (per-device clocks)");
+  bench::print_row_header({"device", "offset_ms", "drift_ppm"});
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const auto& clk = d.cluster.rnic_device(RnicId{i}).clock();
+    std::printf("%-22s%-22.2f%-22.2f\n",
+                d.cluster.topology().rnic(RnicId{i}).name.c_str(),
+                static_cast<double>(clk.offset()) / 1e6, clk.drift_ppm());
+  }
+
+  bench::print_header(
+      "What naive cross-clock subtraction would report (③-② style)");
+  PercentileWindow naive;
+  for (std::uint32_t i = 0; i + 1 < d.cluster.num_rnics(); i += 2) {
+    const TimeNs a = d.cluster.rnic_device(RnicId{i}).rnic_now();
+    const TimeNs b = d.cluster.rnic_device(RnicId{i + 1}).rnic_now();
+    naive.add(std::abs(static_cast<double>(b - a)));
+  }
+  std::printf(
+      "median |cross-clock delta| = %.1f ms  (vs true one-way ~1 us)\n",
+      naive.percentile(0.5) / 1e6);
+  std::printf(
+      "\nTakeaway: same-clock differences keep the error at nanoseconds "
+      "(drift over a\nmicrosecond-scale flight is negligible); cross-clock "
+      "arithmetic would be off by\nhundreds of milliseconds.\n");
+}
+
+}  // namespace
+}  // namespace rpm
+
+int main() {
+  rpm::run();
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Figure 6 reproduction.
+//
+// (left) Localization accuracy over a month of problems. The paper reports
+// 207 problems, 85% accurate overall: all 157 switch problems accurate, but
+// only 20/50 RNIC problems confirmed — the other 30 were really the service
+// occupying the Agent's CPU (probe noise). We run a scaled-down schedule of
+// fault episodes with ground truth and score the Analyzer twice:
+//   * filters OFF — reproduces the paper's initial deployment (RNIC false
+//     positives from Agent-CPU occupation);
+//   * filters ON  — reproduces the fixed deployment (multi-RNIC simultaneity
+//     + responder-delay checks eliminate the false positives).
+//
+// (right) The signature of the noise: probes to MULTIPLE RNICs of one host
+// "dropped" at the same moment.
+#include "bench_util.h"
+
+namespace rpm {
+namespace {
+
+struct Score {
+  int reported = 0;
+  int accurate = 0;
+  int switch_reported = 0;
+  int switch_accurate = 0;
+  int rnic_reported = 0;
+  int rnic_confirmed = 0;
+  int noise_filtered = 0;
+};
+
+enum class EpisodeKind { kSwitchFault, kRnicFault, kAgentCpu };
+
+void run_episode(EpisodeKind kind, std::uint64_t seed, bool filters,
+                 Score& score) {
+  host::ClusterConfig ccfg;
+  ccfg.fabric.step_interval = msec(1);  // no fluid flows in these episodes
+  ccfg.seed = seed;
+  core::RPingmeshConfig rcfg;
+  rcfg.analyzer.enable_cpu_noise_filters = filters;
+  bench::Deployment d(bench::default_clos(), ccfg, rcfg);
+  Rng rng(seed * 977 + 13);
+
+  d.cluster.run_for(sec(21));  // settle + one clean period
+
+  faults::FaultRecord truth;
+  switch (kind) {
+    case EpisodeKind::kSwitchFault: {
+      // Random fabric (switch-switch) cable; random symptom.
+      std::vector<LinkId> fabric_links;
+      for (const topo::Link& l : d.cluster.topology().links()) {
+        if (l.from.is_switch() && l.to.is_switch()) fabric_links.push_back(l.id);
+      }
+      const LinkId victim = fabric_links[rng.index(fabric_links.size())];
+      const int pick = static_cast<int>(rng.uniform_int(0, 2));
+      int h = 0;
+      if (pick == 0) {
+        h = d.faults.inject_switch_port_flapping(victim, msec(400), msec(400));
+      } else if (pick == 1) {
+        h = d.faults.inject_corruption(victim, 0.5);
+      } else {
+        h = d.faults.inject_pfc_deadlock(victim);
+      }
+      truth = d.faults.record(h);
+      break;
+    }
+    case EpisodeKind::kRnicFault: {
+      const RnicId victim{
+          static_cast<std::uint32_t>(rng.index(d.cluster.num_rnics()))};
+      const int pick = static_cast<int>(rng.uniform_int(0, 2));
+      int h = 0;
+      if (pick == 0) {
+        h = d.faults.inject_rnic_down(victim);
+      } else if (pick == 1) {
+        h = d.faults.inject_gid_index_missing(victim);
+      } else {
+        h = d.faults.inject_rnic_flapping(victim, msec(500), msec(300));
+      }
+      truth = d.faults.record(h);
+      break;
+    }
+    case EpisodeKind::kAgentCpu: {
+      const HostId victim{
+          static_cast<std::uint32_t>(rng.index(d.cluster.num_hosts()))};
+      truth = d.faults.record(d.faults.inject_agent_cpu_occupation(victim));
+      break;
+    }
+  }
+
+  d.cluster.run_for(sec(41));  // one fully-faulted analysis period
+  const auto* rep = d.rpm.analyzer().last_report();
+
+  // Score the report against ground truth.
+  for (const auto& p : rep->problems) {
+    if (p.category == core::ProblemCategory::kSwitchNetworkProblem) {
+      ++score.reported;
+      ++score.switch_reported;
+      bool hit = false;
+      if (kind == EpisodeKind::kSwitchFault) {
+        const LinkId peer = d.cluster.topology().link(truth.link).peer;
+        for (LinkId l : p.suspect_links) {
+          if (l == truth.link || l == peer) hit = true;
+        }
+      }
+      if (hit) {
+        ++score.accurate;
+        ++score.switch_accurate;
+      }
+    } else if (p.category == core::ProblemCategory::kRnicProblem) {
+      ++score.reported;
+      ++score.rnic_reported;
+      if (kind == EpisodeKind::kRnicFault && p.rnic == truth.rnic) {
+        ++score.accurate;
+        ++score.rnic_confirmed;
+      }
+    } else if (p.category == core::ProblemCategory::kAgentCpuNoise) {
+      if (kind == EpisodeKind::kAgentCpu) ++score.noise_filtered;
+    }
+  }
+}
+
+Score run_schedule(bool filters) {
+  // Scaled-down month: 24 switch faults, 6 RNIC faults, 10 Agent-CPU
+  // occupation episodes (paper ratio: 157 switch / 20 real RNIC / 30 noise).
+  Score s;
+  std::uint64_t seed = 1;
+  for (int i = 0; i < 24; ++i) {
+    run_episode(EpisodeKind::kSwitchFault, seed++, filters, s);
+  }
+  for (int i = 0; i < 6; ++i) {
+    run_episode(EpisodeKind::kRnicFault, seed++, filters, s);
+  }
+  for (int i = 0; i < 10; ++i) {
+    run_episode(EpisodeKind::kAgentCpu, seed++, filters, s);
+  }
+  return s;
+}
+
+void print_score(const char* label, const Score& s) {
+  std::printf("%s\n", label);
+  std::printf("  problems reported            : %d\n", s.reported);
+  std::printf("  accurate                     : %d (%.0f%%)\n", s.accurate,
+              s.reported ? 100.0 * s.accurate / s.reported : 0.0);
+  std::printf("  switch problems reported     : %d, accurate %d (%.0f%%)\n",
+              s.switch_reported, s.switch_accurate,
+              s.switch_reported ? 100.0 * s.switch_accurate / s.switch_reported
+                                : 0.0);
+  std::printf("  RNIC problems reported       : %d, confirmed %d\n",
+              s.rnic_reported, s.rnic_confirmed);
+  std::printf("  Agent-CPU episodes filtered  : %d / 10\n", s.noise_filtered);
+}
+
+void run_right_panel() {
+  // Figure 6 (right): the tell-tale signature of CPU-occupation noise.
+  host::ClusterConfig ccfg;
+  ccfg.fabric.step_interval = msec(1);
+  bench::Deployment d(bench::default_clos(), ccfg);
+  d.cluster.run_for(sec(21));
+  d.faults.inject_agent_cpu_occupation(HostId{2});
+  d.cluster.run_for(sec(41));
+  const auto* rep = d.rpm.analyzer().last_report();
+  bench::print_header(
+      "Figure 6 (right): simultaneous multi-RNIC 'drops' on one host");
+  std::printf("timeouts classified as agent-cpu noise : %zu\n",
+              rep->timeouts_agent_cpu);
+  std::printf("timeouts classified as RNIC problems   : %zu\n",
+              rep->timeouts_rnic);
+  const auto* noise =
+      bench::find_problem(*rep, core::ProblemCategory::kAgentCpuNoise);
+  std::printf("noise verdict emitted for host          : %s\n",
+              noise != nullptr
+                  ? d.cluster.topology().host(noise->host).name.c_str()
+                  : "(none)");
+}
+
+}  // namespace
+}  // namespace rpm
+
+int main() {
+  rpm::bench::print_header(
+      "Figure 6 (left): localization accuracy over a fault schedule "
+      "(24 switch + 6 RNIC + 10 Agent-CPU episodes)");
+  const rpm::Score off = rpm::run_schedule(/*filters=*/false);
+  print_score("\n-- Analyzer WITHOUT Fig. 6 noise filters (paper's initial "
+              "deployment) --",
+              off);
+  const rpm::Score on = rpm::run_schedule(/*filters=*/true);
+  print_score("\n-- Analyzer WITH noise filters (paper's fix) --", on);
+  std::printf(
+      "\nExpected shape: switch accuracy ~100%% in both runs; RNIC false "
+      "positives from\nAgent-CPU occupation disappear once the filters are "
+      "on (paper: 30 of 50 RNIC\nreports were this noise).\n");
+  rpm::run_right_panel();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 7 reproduction: Agent CPU and memory overhead, and its linear
+// scaling with the number of RNICs per host.
+//
+// Paper numbers (production, 8 RNICs/host): ~3% of one core, ~18.5 MB RSS,
+// <300 Kbps per RNIC. We report our Agent's equivalents: probes+responses
+// handled per second, estimated CPU fraction (measured wall time of Agent
+// event processing vs simulated seconds), approximate resident state, and
+// probe bandwidth per RNIC.
+#include <chrono>
+
+#include "bench_util.h"
+
+namespace rpm {
+namespace {
+
+void run() {
+  bench::print_header(
+      "Figure 7: Agent overhead vs RNICs per host (paper: ~3% core, "
+      "~18.5 MB @ 8 RNICs)");
+  bench::print_row_header({"rnics_per_host", "probe_pps", "est_cpu_pct",
+                           "agent_mem_kb", "probe_kbps_per_rnic"});
+
+  for (std::uint32_t rnics : {1u, 2u, 4u, 8u}) {
+    topo::ClosConfig tcfg = bench::default_clos();
+    tcfg.rnics_per_host = rnics;
+    tcfg.hosts_per_tor = 1;  // keep total RNIC count moderate
+    host::ClusterConfig ccfg;
+    ccfg.fabric.step_interval = msec(1);
+    bench::Deployment d(tcfg, ccfg);
+    d.cluster.run_for(sec(5));
+
+    const core::Agent& agent = d.rpm.agent(HostId{0});
+    const auto probes0 = agent.probes_sent();
+    const auto resp0 = agent.responses_sent();
+    const auto events0 = d.cluster.scheduler().executed_events();
+
+    const auto wall0 = std::chrono::steady_clock::now();
+    constexpr int kSimSeconds = 30;
+    d.cluster.run_for(sec(kSimSeconds));
+    const auto wall1 = std::chrono::steady_clock::now();
+
+    const double probes =
+        static_cast<double>(agent.probes_sent() - probes0) / kSimSeconds;
+    const double responses =
+        static_cast<double>(agent.responses_sent() - resp0) / kSimSeconds;
+    const double events =
+        static_cast<double>(d.cluster.scheduler().executed_events() - events0);
+
+    // CPU estimate: wall time attributable to this Agent's share of events,
+    // spread over simulated seconds. (The paper measures the real daemon; we
+    // measure the simulated daemon's event-processing cost.)
+    const double wall_s =
+        std::chrono::duration<double>(wall1 - wall0).count();
+    const double agent_event_share =
+        (probes + responses) * 6.0 * kSimSeconds / events;  // ~6 events/probe
+    const double cpu_pct =
+        100.0 * wall_s * agent_event_share / kSimSeconds;
+
+    // Probe bandwidth: (probe + 2 ACKs) * 50 B per probe round.
+    const double kbps_per_rnic =
+        (probes / rnics) * 3 * 50 * 8 / 1e3;
+
+    std::printf("%-22u%-22.0f%-22.2f%-22.1f%-22.1f\n", rnics,
+                probes + responses, cpu_pct,
+                static_cast<double>(agent.approx_memory_bytes()) / 1024.0,
+                kbps_per_rnic);
+  }
+  std::printf(
+      "\nTakeaway: overhead scales ~linearly with RNIC count and stays far "
+      "below one core\nand tens of MB — the paper's 'deployable everywhere' "
+      "claim. Probe bandwidth is a\nfew hundred Kbps per RNIC, negligible on "
+      "100/200G links.\n");
+}
+
+}  // namespace
+}  // namespace rpm
+
+int main() {
+  rpm::run();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 9 reproduction: training throughput keeps decreasing, the service
+// team suspects network congestion — but R-Pingmesh shows the network RTT
+// is *decreasing* (less traffic!) and processing delay is stable, so neither
+// network nor CPU is the bottleneck. The real culprit is a compute-side bug
+// (reproduced here as a growing compute slowdown).
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "cc/cc.h"
+
+namespace rpm {
+namespace {
+
+void run() {
+  host::ClusterConfig ccfg;
+  ccfg.fabric.step_interval = usec(500);
+  core::RPingmeshConfig rcfg;
+  // The job's own comm bursts are its normal working point, not a problem;
+  // alert only well above it.
+  rcfg.analyzer.high_rtt_threshold = msec(2);
+  bench::Deployment d(bench::default_clos(), ccfg, rcfg);
+  static cc::Dcqcn dcqcn;  // production default: queues stay at the ECN knee
+  traffic::DmlConfig dml;
+  dml.controller = &dcqcn;
+  dml.service = ServiceId{1};
+  dml.workers = {RnicId{0}, RnicId{2}, RnicId{4},  RnicId{6},
+                 RnicId{8}, RnicId{10}, RnicId{12}, RnicId{14}};
+  dml.pattern = traffic::CommPattern::kAllToAll;
+  dml.per_flow_gbps = 13.5;  // 7 flows/NIC: ~95G bursts during comm
+  dml.compute_time = msec(250);
+  dml.comm_bytes = 120'000'000;
+  traffic::DmlService svc(d.cluster, dml);
+  d.rpm.watch_service(
+      {dml.service, [&svc] { return svc.relative_throughput(); }});
+  svc.start();
+  d.cluster.run_for(sec(21));
+
+  bench::print_header(
+      "Figure 9: continuously decreasing throughput with DECREASING RTT and "
+      "stable processing delay => network innocent");
+  bench::print_row_header({"period", "train_tp", "avg_net_Gbps",
+                           "svc_rtt_mean_us", "proc_p99_us", "net_innocent"});
+
+  double slowdown = 1.0;
+  for (int period = 1; period <= 8; ++period) {
+    if (period >= 3) {
+      slowdown *= 1.6;  // the compute bug keeps getting worse
+      svc.set_compute_slowdown(slowdown);
+    }
+    d.cluster.run_for(sec(20));
+    const auto* rep = d.rpm.analyzer().last_report();
+    // Mean service RTT: with the job communicating less per unit time, the
+    // fraction of probes that sample comm-phase queues falls — the paper's
+    // "RTT is also decreasing" signal.
+    double svc_rtt = 0;
+    for (const auto& [sid, sla] : rep->service_slas) {
+      if (sid == dml.service) svc_rtt = sla.rtt_mean / 1e3;
+    }
+    std::printf("%-22d%-22.3f%-22.1f%-22.1f%-22.1f%s\n", period,
+                svc.relative_throughput(),
+                svc.avg_network_throughput_Bps() * 8e-9, svc_rtt,
+                rep->cluster_sla.proc_p99 / 1e3,
+                d.rpm.analyzer().network_innocent(dml.service) ? "YES" : "no");
+    if (getenv("RPM_DBG")) {
+      for (const auto& p : rep->problems)
+        std::printf("      [%s/%s] %s\n", core::priority_name(p.priority),
+                    core::problem_category_name(p.category), p.summary.c_str());
+    }
+  }
+  std::printf(
+      "\nTakeaway: throughput and tail RTT fall TOGETHER while processing "
+      "delay is flat.\nR-Pingmesh's verdict stays 'network innocent', "
+      "steering the investigation to the\ncompute side (the paper's case: a "
+      "bug in the training code).\n");
+  svc.stop();
+}
+
+}  // namespace
+}  // namespace rpm
+
+int main() {
+  rpm::run();
+  return 0;
+}

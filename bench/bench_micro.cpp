@@ -1,0 +1,153 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the simulator
+// and the R-Pingmesh pipeline: 5-tuple hashing, ECMP resolution, fabric
+// fluid steps, packet sends, and a full Analyzer period.
+#include <benchmark/benchmark.h>
+
+#include "core/analyzer.h"
+#include "core/controller.h"
+#include "fabric/fabric.h"
+#include "host/cluster.h"
+#include "routing/ecmp.h"
+#include "topo/topology.h"
+
+namespace rpm {
+namespace {
+
+topo::ClosConfig bench_clos() {
+  topo::ClosConfig cfg;
+  cfg.num_pods = 4;
+  cfg.tors_per_pod = 4;
+  cfg.aggs_per_pod = 4;
+  cfg.spines_per_plane = 4;
+  cfg.hosts_per_tor = 4;
+  cfg.rnics_per_host = 2;
+  return cfg;
+}
+
+void BM_FiveTupleHash(benchmark::State& state) {
+  FiveTuple t;
+  t.src_ip = IpAddr{0x0A000001};
+  t.dst_ip = IpAddr{0x0A00F001};
+  std::uint16_t port = 0;
+  for (auto _ : state) {
+    t.src_port = ++port;
+    benchmark::DoNotOptimize(t.stable_hash());
+  }
+}
+BENCHMARK(BM_FiveTupleHash);
+
+void BM_EcmpResolve(benchmark::State& state) {
+  const topo::Topology topo = topo::build_clos(bench_clos());
+  const routing::EcmpRouter router(topo);
+  FiveTuple t;
+  t.src_ip = topo.rnic(RnicId{0}).ip;
+  t.dst_ip = topo.rnic(RnicId{100}).ip;
+  std::uint16_t port = 0;
+  for (auto _ : state) {
+    t.src_port = ++port;
+    benchmark::DoNotOptimize(router.resolve(RnicId{0}, RnicId{100}, t));
+  }
+}
+BENCHMARK(BM_EcmpResolve);
+
+void BM_FabricSend(benchmark::State& state) {
+  const topo::Topology topo = topo::build_clos(bench_clos());
+  const routing::EcmpRouter router(topo);
+  sim::EventScheduler sched;
+  fabric::Fabric fab(topo, router, sched);
+  fabric::Datagram d;
+  d.src = RnicId{0};
+  d.dst = RnicId{100};
+  d.tuple.src_ip = topo.rnic(d.src).ip;
+  d.tuple.dst_ip = topo.rnic(d.dst).ip;
+  std::uint16_t port = 0;
+  for (auto _ : state) {
+    d.tuple.src_port = ++port;
+    benchmark::DoNotOptimize(fab.send(d));
+  }
+}
+BENCHMARK(BM_FabricSend);
+
+void BM_FluidStep(benchmark::State& state) {
+  const topo::Topology topo = topo::build_clos(bench_clos());
+  const routing::EcmpRouter router(topo);
+  sim::EventScheduler sched;
+  fabric::Fabric fab(topo, router, sched);
+  // A realistic flow population.
+  const auto flows = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t i = 0; i < flows; ++i) {
+    fabric::FlowSpec f;
+    f.src = RnicId{i % static_cast<std::uint32_t>(topo.num_rnics())};
+    f.dst = RnicId{(i * 37 + 11) % static_cast<std::uint32_t>(topo.num_rnics())};
+    if (f.src == f.dst) f.dst = RnicId{(f.dst.value + 1) %
+                                       static_cast<std::uint32_t>(topo.num_rnics())};
+    f.tuple.src_ip = topo.rnic(f.src).ip;
+    f.tuple.dst_ip = topo.rnic(f.dst).ip;
+    f.tuple.src_port = static_cast<std::uint16_t>(1000 + i);
+    f.demand_Bps = gbps_to_Bps(10);
+    fab.add_flow(f);
+  }
+  for (auto _ : state) {
+    fab.step_once();
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FluidStep)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_Equation1(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::equation1_min_tuples(n, 0.99));
+  }
+}
+BENCHMARK(BM_Equation1)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_AnalyzerPeriod(benchmark::State& state) {
+  const topo::Topology topo = topo::build_clos(bench_clos());
+  const routing::EcmpRouter router(topo);
+  sim::EventScheduler sched;
+  core::Controller ctrl(topo, router);
+  // Register everything so QPN checks hit the registry.
+  for (const topo::HostInfo& h : topo.hosts()) {
+    std::vector<core::RnicCommInfo> infos;
+    for (RnicId r : h.rnics) {
+      infos.push_back({r, topo.rnic(r).ip, Gid{r.value + 1}, Qpn{0x100}});
+    }
+    ctrl.register_agent(h.id, infos);
+  }
+  core::Analyzer analyzer(topo, ctrl, sched);
+
+  // Synthesize a period's worth of records (~the paper's scale per 20 s for
+  // this cluster size).
+  const auto n_records = static_cast<std::size_t>(state.range(0));
+  std::vector<core::ProbeRecord> batch;
+  Rng rng(5);
+  for (std::size_t i = 0; i < n_records; ++i) {
+    core::ProbeRecord r;
+    r.id = i;
+    r.kind = core::ProbeKind::kTorMesh;
+    r.prober = RnicId{static_cast<std::uint32_t>(rng.index(topo.num_rnics()))};
+    const auto& peers = topo.rnics_under_tor(topo.rnic(r.prober).tor);
+    r.target = peers[rng.index(peers.size())];
+    r.prober_host = topo.rnic(r.prober).host;
+    r.target_qpn = Qpn{0x100};
+    r.status = rng.chance(0.01) ? core::ProbeStatus::kTimeout
+                                : core::ProbeStatus::kOk;
+    r.network_rtt = usec(5);
+    r.responder_delay = usec(8);
+    batch.push_back(r);
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    analyzer.upload(HostId{0}, batch);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(analyzer.analyze_now());
+  }
+  state.SetItemsProcessed(state.iterations() * n_records);
+}
+BENCHMARK(BM_AnalyzerPeriod)->Arg(10000)->Arg(50000);
+
+}  // namespace
+}  // namespace rpm
+
+BENCHMARK_MAIN();

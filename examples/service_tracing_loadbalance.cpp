@@ -1,0 +1,129 @@
+// Service-tracing-guided load balancing (§7.3).
+//
+// Two tenants' elephant flows collide on one ToR uplink (ECMP hash
+// collision, Figure 13b). Service Tracing measures the RTT of exactly the
+// paths the services use and fingers the congested link. The remedy is the
+// paper's: the service calls modify_qp with a NEW source port, ECMP
+// re-hashes the flow onto a parallel path, and the tail RTT collapses.
+//
+//   $ ./examples/service_tracing_loadbalance
+#include <cstdio>
+
+#include "cc/cc.h"
+#include "core/rpingmesh.h"
+#include "traffic/dml.h"
+
+int main() {
+  using namespace rpm;
+
+  topo::ClosConfig topo_cfg;
+  topo_cfg.num_pods = 2;
+  topo_cfg.tors_per_pod = 2;
+  topo_cfg.aggs_per_pod = 2;
+  topo_cfg.spines_per_plane = 2;
+  topo_cfg.hosts_per_tor = 2;
+  topo_cfg.rnics_per_host = 2;
+  topo_cfg.host_link.capacity_gbps = 100.0;
+  topo_cfg.fabric_link.capacity_gbps = 100.0;
+  host::ClusterConfig cluster_cfg;
+  cluster_cfg.fabric.step_interval = usec(200);
+  host::Cluster cluster(topo::build_clos(topo_cfg), cluster_cfg);
+
+  core::RPingmeshConfig rpm_cfg;
+  rpm_cfg.analyzer.high_rtt_threshold = usec(100);
+  core::RPingmesh rpm(cluster, rpm_cfg);
+  rpm.start();
+
+  // Two single-connection jobs whose flows collide on one ToR uplink.
+  cc::Dcqcn dcqcn;
+  auto& fab = cluster.fabric();
+  const RnicId a{0}, b{2}, dst1{8}, dst2{10};
+  FiveTuple t1;
+  t1.src_ip = cluster.topology().rnic(a).ip;
+  t1.dst_ip = cluster.topology().rnic(dst1).ip;
+  t1.src_port = 7100;
+  const LinkId shared = fab.current_path(a, dst1, t1).links[1];
+  std::uint16_t collide_port = 7200;
+  for (;; ++collide_port) {
+    FiveTuple t2;
+    t2.src_ip = cluster.topology().rnic(b).ip;
+    t2.dst_ip = cluster.topology().rnic(dst2).ip;
+    t2.src_port = collide_port;
+    if (fab.current_path(b, dst2, t2).links[1] == shared) break;
+  }
+  std::printf("two elephants collide on: %s\n",
+              cluster.topology().link(shared).name.c_str());
+
+  traffic::DmlConfig s1;
+  s1.service = ServiceId{1};
+  s1.workers = {a, dst1};
+  s1.per_flow_gbps = 70.0;
+  s1.compute_time = msec(50);
+  s1.comm_bytes = 900'000'000;
+  s1.base_port = t1.src_port;
+  s1.controller = &dcqcn;
+  traffic::DmlConfig s2 = s1;
+  s2.service = ServiceId{2};
+  s2.workers = {b, dst2};
+  s2.base_port = collide_port;
+  traffic::DmlService svc1(cluster, s1);
+  traffic::DmlService svc2(cluster, s2);
+  svc1.start();
+  svc2.start();
+  cluster.run_for(sec(41));
+
+  const auto show = [&](const char* when) {
+    const auto* rep = rpm.analyzer().last_report();
+    std::printf("\n-- %s --\n", when);
+    for (const auto& [sid, sla] : rep->service_slas) {
+      std::printf("service %u: rtt p50=%.1fus p99=%.1fus (%zu probes)\n",
+                  sid.value, sla.rtt_p50 / 1e3, sla.rtt_p99 / 1e3, sla.probes);
+    }
+    for (const auto& p : rep->problems) {
+      if (p.category == core::ProblemCategory::kHighNetworkRtt &&
+          p.detected_by_service_tracing) {
+        std::printf("service %u tracing: %s\n", p.service.value,
+                    p.summary.c_str());
+      }
+    }
+  };
+  show("while colliding");
+
+  // The fix: reroute service 2's congested flow by changing its source
+  // port via modify_qp (the verbs flow-label trick). Find a port that picks
+  // the OTHER uplink.
+  const auto& conn = svc2.connections()[0];
+  std::uint16_t new_port = 7500;
+  for (;; ++new_port) {
+    FiveTuple t = conn.tuple;
+    t.src_port = new_port;
+    if (fab.current_path(conn.src, conn.dst, t).links[1] != shared) break;
+  }
+  std::printf("\nrerouting service 2's flow: source port %u -> %u "
+              "(modify_qp)\n", conn.tuple.src_port, new_port);
+  // In-place reconnect: modify_qp with the new flow label + move the fluid
+  // flow to the new 5-tuple.
+  auto ctx = cluster.open_device(conn.src, s2.service);
+  ctx.modify_qp_connect(conn.src_qpn, rnic::gid_of(conn.dst), conn.dst_qpn,
+                        new_port);
+  fabric::FlowSpec moved;
+  moved.src = conn.src;
+  moved.dst = conn.dst;
+  moved.tuple = conn.tuple;
+  moved.tuple.src_port = new_port;
+  moved.demand_Bps = gbps_to_Bps(s2.per_flow_gbps);
+  moved.controller = &dcqcn;
+  cluster.fabric().remove_flow(conn.flow);
+  cluster.fabric().add_flow(moved);
+
+  cluster.run_for(sec(41));
+  show("after rerouting");
+  std::printf(
+      "\nTakeaway: Service Tracing pinpointed the congested uplink; one "
+      "modify_qp moved the\nflow to a parallel path and the tail RTT of BOTH "
+      "tenants collapsed (§7.3).\n");
+  svc1.stop();
+  svc2.stop();
+  rpm.stop();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Congestion control algorithms for the fluid traffic engine.
+//
+// Figure 11 (right) of the paper compares commodity DCQCN against
+// ByteDance's self-developed algorithm on All2All traffic: the custom
+// algorithm cuts tail RTT and raises training throughput. We implement:
+//
+//  * Dcqcn — the fluid-granularity analogue of DCQCN [Zhu et al., SIGCOMM'15]:
+//    ECN-fraction-driven multiplicative decrease with the alpha estimator,
+//    followed by fast recovery toward the pre-cut target rate and additive /
+//    hyper increase. DCQCN keeps queues near the ECN knee, so tail latency
+//    under incast stays high.
+//
+//  * DelayCc — a Swift/HPCC-flavoured delay-based controller that steers the
+//    path queueing delay toward a small target. It keeps queues (and thus
+//    tail RTT) much lower at modest throughput cost, reproducing the paper's
+//    comparison shape.
+//
+// Controllers are stateless about flows except via `flow_slot`, matching the
+// fabric::RateController contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "fabric/fabric.h"
+
+namespace rpm::cc {
+
+struct DcqcnParams {
+  double g = 1.0 / 16.0;         // alpha EWMA gain (per update that sees ECN)
+  double rate_ai_Bps = gbps_to_Bps(0.4);   // additive increase step
+  double rate_hai_Bps = gbps_to_Bps(2.0);  // hyper increase step
+  TimeNs increase_period = usec(300);      // time between increase events
+  TimeNs decrease_min_gap = usec(50);      // at most one cut per gap
+  int fast_recovery_rounds = 3;            // rounds of (Rc+Rt)/2 averaging
+  double min_rate_Bps = gbps_to_Bps(0.1);
+};
+
+class Dcqcn final : public fabric::RateController {
+ public:
+  explicit Dcqcn(DcqcnParams params = {}) : params_(params) {}
+
+  double reset(std::uint32_t flow_slot, double demand_Bps,
+               double line_rate_Bps) override;
+  double update(std::uint32_t flow_slot, const fabric::CcFeedback& fb,
+                double current_rate_Bps) override;
+  [[nodiscard]] std::string name() const override { return "dcqcn"; }
+
+ private:
+  struct State {
+    double target_rate = 0.0;
+    double alpha = 1.0;
+    TimeNs since_decrease = 0;
+    TimeNs since_increase = 0;
+    int recovery_round = 0;
+    double line_rate = 0.0;
+  };
+  DcqcnParams params_;
+  std::unordered_map<std::uint32_t, State> flows_;
+};
+
+struct DelayCcParams {
+  TimeNs target_delay = usec(8);   // steer path queueing delay here
+  double beta = 0.6;               // max multiplicative decrease strength
+  double additive_gain = 0.05;     // fraction of line rate added when below
+  double min_rate_frac = 0.01;     // floor as a fraction of line rate
+};
+
+class DelayCc final : public fabric::RateController {
+ public:
+  explicit DelayCc(DelayCcParams params = {}) : params_(params) {}
+
+  double reset(std::uint32_t flow_slot, double demand_Bps,
+               double line_rate_Bps) override;
+  double update(std::uint32_t flow_slot, const fabric::CcFeedback& fb,
+                double current_rate_Bps) override;
+  [[nodiscard]] std::string name() const override { return "delaycc"; }
+
+ private:
+  struct State {
+    double line_rate = 0.0;
+  };
+  DelayCcParams params_;
+  std::unordered_map<std::uint32_t, State> flows_;
+};
+
+}  // namespace rpm::cc

@@ -1,0 +1,21 @@
+#include "common/five_tuple.h"
+
+#include <sstream>
+
+namespace rpm {
+
+std::string ip_to_string(IpAddr ip) {
+  std::ostringstream os;
+  os << ((ip.value >> 24) & 0xff) << '.' << ((ip.value >> 16) & 0xff) << '.'
+     << ((ip.value >> 8) & 0xff) << '.' << (ip.value & 0xff);
+  return os.str();
+}
+
+std::string FiveTuple::to_string() const {
+  std::ostringstream os;
+  os << ip_to_string(src_ip) << ':' << src_port << "->" << ip_to_string(dst_ip)
+     << ':' << dst_port << "/p" << static_cast<int>(protocol);
+  return os.str();
+}
+
+}  // namespace rpm

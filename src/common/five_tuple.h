@@ -1,0 +1,89 @@
+// The outer UDP 5-tuple of a RoCEv2 packet, plus helpers.
+//
+// RoCEv2 encapsulates RDMA over UDP: the destination port is fixed at 4791
+// and ECMP load balancing in the fabric hashes the *source* port, which the
+// verbs API lets applications choose via the flow label (§3.1 of the paper).
+// R-Pingmesh exploits this: probes that reuse a service flow's 5-tuple are
+// routed onto the same ECMP path as the service flow.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+
+namespace rpm {
+
+/// RoCEv2 destination UDP port (fixed by the RoCEv2 spec).
+inline constexpr std::uint16_t kRoceUdpPort = 4791;
+
+/// IPv4 address as a 32-bit value. The simulator assigns one address per
+/// RNIC; no subnetting logic is modelled.
+struct IpAddr {
+  std::uint32_t value = 0;
+
+  friend constexpr auto operator<=>(IpAddr, IpAddr) = default;
+};
+
+/// Outer UDP/IP 5-tuple used for ECMP hashing.
+struct FiveTuple {
+  IpAddr src_ip;
+  IpAddr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = kRoceUdpPort;
+  std::uint8_t protocol = 17;  // UDP
+
+  friend constexpr auto operator<=>(const FiveTuple&, const FiveTuple&) =
+      default;
+
+  /// Stable 64-bit hash used both by ECMP and by hash maps. The fabric's
+  /// ECMP decision combines this with a per-switch seed (see routing/).
+  [[nodiscard]] std::uint64_t stable_hash() const {
+    // SplitMix64-style mixing of all fields; deterministic across runs.
+    std::uint64_t x = (static_cast<std::uint64_t>(src_ip.value) << 32) |
+                      dst_ip.value;
+    x ^= (static_cast<std::uint64_t>(src_port) << 24) ^
+         (static_cast<std::uint64_t>(dst_port) << 8) ^ protocol;
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+std::string ip_to_string(IpAddr ip);
+
+/// The RDMA-internal 4-tuple identifying a connection at the verbs layer
+/// (§3.1 footnote 3): source/destination GID and QPN.
+struct RdmaFourTuple {
+  Gid src_gid;
+  Qpn src_qpn;
+  Gid dst_gid;
+  Qpn dst_qpn;
+
+  friend constexpr auto operator<=>(const RdmaFourTuple&,
+                                    const RdmaFourTuple&) = default;
+};
+
+}  // namespace rpm
+
+namespace std {
+
+template <>
+struct hash<rpm::IpAddr> {
+  size_t operator()(rpm::IpAddr ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value);
+  }
+};
+
+template <>
+struct hash<rpm::FiveTuple> {
+  size_t operator()(const rpm::FiveTuple& t) const noexcept {
+    return static_cast<size_t>(t.stable_hash());
+  }
+};
+
+}  // namespace std

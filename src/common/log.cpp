@@ -1,0 +1,24 @@
+#include "common/log.h"
+
+namespace rpm {
+
+namespace {
+LogLevel g_threshold = LogLevel::kWarn;
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold; }
+void set_log_threshold(LogLevel level) { g_threshold = level; }
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* tag)
+    : enabled_(level >= g_threshold) {
+  if (enabled_) stream_ << '[' << tag << "] ";
+}
+
+LogLine::~LogLine() {
+  if (enabled_) std::clog << stream_.str() << '\n';
+}
+
+}  // namespace detail
+}  // namespace rpm

@@ -1,0 +1,52 @@
+// Minimal leveled logger. Off by default above WARN so tests and benches stay
+// quiet; examples turn INFO on to narrate what the system is doing.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rpm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine log_debug() {
+  return detail::LogLine(LogLevel::kDebug, "DEBUG");
+}
+inline detail::LogLine log_info() {
+  return detail::LogLine(LogLevel::kInfo, "INFO ");
+}
+inline detail::LogLine log_warn() {
+  return detail::LogLine(LogLevel::kWarn, "WARN ");
+}
+inline detail::LogLine log_error() {
+  return detail::LogLine(LogLevel::kError, "ERROR");
+}
+
+}  // namespace rpm

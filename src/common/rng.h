@@ -1,0 +1,73 @@
+// Deterministic random number generation.
+//
+// Every stochastic component takes an explicit `Rng&` (or a seed) so that
+// simulations are reproducible; nothing in the library reads global entropy.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+
+namespace rpm {
+
+/// Thin wrapper over std::mt19937_64 with the handful of draws the simulator
+/// needs. Copyable so components can fork independent deterministic streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Exponential inter-arrival with the given mean (> 0).
+  double exponential(double mean) {
+    if (mean <= 0.0) throw std::invalid_argument("exponential: mean <= 0");
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Normal draw.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Pick a uniformly random index into a container of the given size.
+  std::size_t index(std::size_t size) {
+    if (size == 0) throw std::invalid_argument("index: empty range");
+    return static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(size) - 1));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Fork a child generator with an independent deterministic stream.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rpm

@@ -1,0 +1,111 @@
+// Core vocabulary types shared by every module: strong identifiers,
+// simulated-time representation, and a few small POD helpers.
+//
+// All simulated time is an integer count of nanoseconds since simulation
+// start (`TimeNs`). Wall-clock-like readings taken on a device clock (which
+// may be offset and drifting relative to simulated time) use the same
+// representation but are only ever compared against readings from the same
+// clock; see sim/clock.h.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace rpm {
+
+/// Simulated time in nanoseconds since simulation start.
+using TimeNs = std::int64_t;
+
+/// Sentinel for "no time" / "not yet happened".
+inline constexpr TimeNs kNoTime = std::numeric_limits<TimeNs>::min();
+
+/// Convenience constructors for durations.
+constexpr TimeNs nsec(std::int64_t v) { return v; }
+constexpr TimeNs usec(std::int64_t v) { return v * 1'000; }
+constexpr TimeNs msec(std::int64_t v) { return v * 1'000'000; }
+constexpr TimeNs sec(std::int64_t v) { return v * 1'000'000'000; }
+
+/// Convert a duration to floating-point seconds (for reporting only).
+constexpr double to_seconds(TimeNs t) { return static_cast<double>(t) * 1e-9; }
+/// Convert a duration to floating-point microseconds (for reporting only).
+constexpr double to_usec(TimeNs t) { return static_cast<double>(t) * 1e-3; }
+
+/// Strongly typed 32-bit identifier. `Tag` only disambiguates the type, so a
+/// SwitchId cannot be passed where a HostId is expected.
+template <typename Tag>
+struct Id {
+  static constexpr std::uint32_t kInvalidValue =
+      std::numeric_limits<std::uint32_t>::max();
+
+  std::uint32_t value = kInvalidValue;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalidValue; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+using HostId = Id<struct HostIdTag>;
+using RnicId = Id<struct RnicIdTag>;
+using SwitchId = Id<struct SwitchIdTag>;
+using LinkId = Id<struct LinkIdTag>;
+using FlowId = Id<struct FlowIdTag>;
+using ServiceId = Id<struct ServiceIdTag>;
+using ProbeId = Id<struct ProbeIdTag>;
+
+/// RoCE Global Identifier. Real GIDs are 128-bit; for the simulator a 64-bit
+/// value uniquely derived from the RNIC is sufficient (we never parse bytes).
+struct Gid {
+  std::uint64_t value = 0;
+
+  friend constexpr auto operator<=>(Gid, Gid) = default;
+};
+
+/// Queue Pair Number. QPNs are allocated per-RNIC and change when the owning
+/// process recreates the QP (e.g. Agent restart) — the source of the paper's
+/// "QPN reset" probe noise (§4.3.1).
+struct Qpn {
+  std::uint32_t value = 0;
+
+  [[nodiscard]] constexpr bool valid() const { return value != 0; }
+
+  friend constexpr auto operator<=>(Qpn, Qpn) = default;
+};
+
+/// Number of bytes (payloads, queue depths, counters).
+using Bytes = std::int64_t;
+
+/// Gigabits-per-second capacity expressed as bytes-per-second.
+constexpr double gbps_to_Bps(double gbps) { return gbps * 1e9 / 8.0; }
+
+}  // namespace rpm
+
+namespace std {
+
+template <typename Tag>
+struct hash<rpm::Id<Tag>> {
+  size_t operator()(rpm::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct hash<rpm::Gid> {
+  size_t operator()(rpm::Gid g) const noexcept {
+    return std::hash<std::uint64_t>{}(g.value);
+  }
+};
+
+template <>
+struct hash<rpm::Qpn> {
+  size_t operator()(rpm::Qpn q) const noexcept {
+    return std::hash<std::uint32_t>{}(q.value);
+  }
+};
+
+}  // namespace std

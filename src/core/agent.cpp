@@ -1,0 +1,462 @@
+#include "core/agent.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "rnic/rnic.h"
+
+namespace rpm::core {
+
+Agent::Agent(host::Cluster& cluster, HostId host, Controller& controller,
+             UploadFn upload, AgentConfig cfg)
+    : cluster_(cluster),
+      host_(host),
+      controller_(controller),
+      upload_(std::move(upload)),
+      cfg_(cfg),
+      rng_(cluster.fork_rng()),
+      // Distinct id spaces per host so probe ids are globally unique (and
+      // never collide with the small wr_ids used for ACK sends).
+      next_probe_id_((static_cast<std::uint64_t>(host.value) + 1) << 40) {
+  if (!upload_) throw std::invalid_argument("Agent: upload sink required");
+}
+
+Agent::~Agent() {
+  if (running_) stop();
+}
+
+bool Agent::host_down() const { return cluster_.host(host_).is_down(); }
+
+void Agent::create_qps() {
+  rnics_.clear();
+  const auto& host_info = cluster_.topology().host(host_);
+  rnics_.reserve(host_info.rnics.size());
+  for (RnicId r : host_info.rnics) {
+    RnicState st;
+    st.rnic = r;
+    const auto slot = static_cast<std::uint32_t>(rnics_.size());
+    rnic::QpConfig qcfg;
+    qcfg.type = rnic::QpType::kUD;
+    qcfg.on_cqe = [this, slot](const rnic::Cqe& c) { on_cqe(slot, c); };
+    st.ud_qpn = cluster_.rnic_device(r).create_qp(qcfg);
+    rnics_.push_back(std::move(st));
+  }
+}
+
+void Agent::register_with_controller() {
+  std::vector<RnicCommInfo> infos;
+  for (const RnicState& st : rnics_) {
+    RnicCommInfo info;
+    info.rnic = st.rnic;
+    info.ip = cluster_.topology().rnic(st.rnic).ip;
+    info.gid = rnic::gid_of(st.rnic);
+    info.qpn = st.ud_qpn;
+    infos.push_back(info);
+  }
+  controller_.register_agent(host_, infos);
+}
+
+void Agent::attach_tracepoints() {
+  auto& reg = cluster_.host(host_).tracepoints();
+  modify_handle_ = reg.attach_modify_qp(
+      [this](const verbs::ModifyQpEvent& e) { on_service_connect(e); });
+  destroy_handle_ = reg.attach_destroy_qp(
+      [this](const verbs::DestroyQpEvent& e) { on_service_disconnect(e); });
+}
+
+void Agent::detach_tracepoints() {
+  auto& reg = cluster_.host(host_).tracepoints();
+  reg.detach(modify_handle_);
+  reg.detach(destroy_handle_);
+  modify_handle_ = destroy_handle_ = 0;
+}
+
+void Agent::start() {
+  if (running_) return;
+  running_ = true;
+  create_qps();
+  register_with_controller();
+  refresh_pinglists();
+  attach_tracepoints();
+
+  auto& sched = cluster_.scheduler();
+  for (std::uint32_t slot = 0; slot < rnics_.size(); ++slot) {
+    RnicState& st = rnics_[slot];
+    st.tormesh_task = std::make_unique<sim::PeriodicTask>(
+        sched, st.tormesh.probe_interval,
+        [this, slot] { probe_next(slot, ProbeKind::kTorMesh); });
+    st.intertor_task = std::make_unique<sim::PeriodicTask>(
+        sched,
+        st.intertor.probe_interval > 0 ? st.intertor.probe_interval
+                                       : msec(100),
+        [this, slot] { probe_next(slot, ProbeKind::kInterTor); });
+    st.service_task = std::make_unique<sim::PeriodicTask>(
+        sched, cfg_.service_probe_interval,
+        [this, slot] { probe_next(slot, ProbeKind::kServiceTracing); });
+    // Stagger task phases so hosts do not fire in lockstep.
+    st.tormesh_task->start(rng_.uniform_int(0, st.tormesh.probe_interval));
+    st.intertor_task->start(rng_.uniform_int(0, msec(100)));
+    st.service_task->start(rng_.uniform_int(0, cfg_.service_probe_interval));
+  }
+  upload_task_ = std::make_unique<sim::PeriodicTask>(
+      sched, cfg_.upload_interval, [this] { upload_now(); });
+  upload_task_->start(cfg_.upload_interval);
+  refresh_task_ = std::make_unique<sim::PeriodicTask>(
+      sched, cfg_.pinglist_refresh, [this] { refresh_pinglists(); });
+  refresh_task_->start(cfg_.pinglist_refresh);
+}
+
+void Agent::stop() {
+  if (!running_) return;
+  running_ = false;
+  detach_tracepoints();
+  for (RnicState& st : rnics_) {
+    if (st.tormesh_task) st.tormesh_task->cancel();
+    if (st.intertor_task) st.intertor_task->cancel();
+    if (st.service_task) st.service_task->cancel();
+    cluster_.rnic_device(st.rnic).destroy_qp(st.ud_qpn);
+  }
+  if (upload_task_) upload_task_->cancel();
+  if (refresh_task_) refresh_task_->cancel();
+  pending_.clear();
+  responder_ctx_.clear();
+  outbox_.clear();
+}
+
+void Agent::restart() {
+  stop();
+  start();
+}
+
+void Agent::refresh_pinglists() {
+  if (!running_ && rnics_.empty()) return;
+  for (RnicState& st : rnics_) {
+    st.tormesh = controller_.tormesh_pinglist(st.rnic);
+    st.intertor = controller_.intertor_pinglist(st.rnic);
+    st.tormesh_next = st.intertor_next = 0;
+    if (st.tormesh_task && st.tormesh.probe_interval > 0) {
+      st.tormesh_task->set_period(st.tormesh.probe_interval);
+    }
+    if (st.intertor_task && st.intertor.probe_interval > 0) {
+      st.intertor_task->set_period(st.intertor.probe_interval);
+    }
+    // Refresh stale comm info of service-tracing targets too (§5: the Agent
+    // pulls the latest info for all targets every 5 minutes).
+    for (auto& [qpn, entry] : st.service_by_qpn) {
+      if (const auto info = controller_.comm_info(entry.target)) {
+        entry.target_gid = info->gid;
+        entry.target_qpn = info->qpn;
+      }
+    }
+    st.service.clear();
+    for (const auto& [qpn, entry] : st.service_by_qpn) {
+      st.service.push_back(entry);
+    }
+  }
+}
+
+std::size_t Agent::service_entries() const {
+  std::size_t n = 0;
+  for (const RnicState& st : rnics_) n += st.service_by_qpn.size();
+  return n;
+}
+
+std::size_t Agent::approx_memory_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const RnicState& st : rnics_) {
+    bytes += sizeof(st);
+    bytes += (st.tormesh.entries.size() + st.intertor.entries.size() +
+              st.service.size()) *
+             sizeof(PinglistEntry);
+    bytes += st.paths.size() * (sizeof(PathCacheEntry) + 16 * sizeof(LinkId));
+  }
+  bytes += pending_.size() * sizeof(Pending);
+  bytes += outbox_.capacity() * sizeof(ProbeRecord);
+  return bytes;
+}
+
+void Agent::probe_next(std::uint32_t slot, ProbeKind kind) {
+  if (!running_ || host_down()) return;
+  RnicState& st = rnics_[slot];
+  switch (kind) {
+    case ProbeKind::kTorMesh: {
+      if (st.tormesh.entries.empty()) return;
+      const PinglistEntry& e =
+          st.tormesh.entries[st.tormesh_next++ % st.tormesh.entries.size()];
+      send_probe(slot, e);
+      return;
+    }
+    case ProbeKind::kInterTor: {
+      if (st.intertor.entries.empty()) return;
+      const PinglistEntry& e =
+          st.intertor.entries[st.intertor_next++ % st.intertor.entries.size()];
+      send_probe(slot, e);
+      return;
+    }
+    case ProbeKind::kServiceTracing: {
+      if (st.service.empty()) return;  // Service Tracing paused (§4.2.2)
+      if (st.service_next >= st.service.size()) {
+        // New round: shuffle so probes never phase-lock with the service's
+        // compute/communicate cycle (§7.3).
+        rng_.shuffle(std::span<PinglistEntry>(st.service));
+        st.service_next = 0;
+      }
+      send_probe(slot, st.service[st.service_next++]);
+      return;
+    }
+  }
+}
+
+Agent::PathCacheEntry& Agent::traced_paths(std::uint32_t slot,
+                                           const PinglistEntry& e) {
+  RnicState& st = rnics_[slot];
+  PathCacheEntry& cache = st.paths[e.tuple.stable_hash()];
+  const TimeNs now = cluster_.scheduler().now();
+  if (cache.traced_at != kNoTime && now - cache.traced_at < cfg_.trace_refresh) {
+    return cache;
+  }
+  cache.traced_at = now;
+  // The ACK mirrors the probe's source port with swapped endpoints.
+  FiveTuple rev_tuple = e.tuple;
+  std::swap(rev_tuple.src_ip, rev_tuple.dst_ip);
+
+  if (cfg_.use_int_telemetry) {
+    // §7.4: INT stamps the path in the data plane — always answers, always
+    // current.
+    auto fwd = cluster_.int_telemetry().trace(st.rnic, e.target, e.tuple);
+    auto rev = cluster_.int_telemetry().trace(e.target, st.rnic, rev_tuple);
+    cache.fwd = std::move(fwd.path);
+    cache.rev = std::move(rev.path);
+    cache.known = true;
+    return cache;
+  }
+
+  auto& fab = cluster_.fabric();
+  const auto link_up = [&fab](LinkId l) { return fab.link_usable(l); };
+  auto fwd = cluster_.traceroute().trace(st.rnic, e.target, e.tuple, now,
+                                         link_up);
+  auto rev = cluster_.traceroute().trace(e.target, st.rnic, rev_tuple, now,
+                                         link_up);
+  if (fwd.all_responded && rev.all_responded) {
+    cache.fwd = fwd.path;
+    cache.rev = rev.path;
+    cache.known = true;
+  }
+  // If rate-limited, keep whatever we knew before (possibly stale — the
+  // §4.2.3 trade-off).
+  return cache;
+}
+
+void Agent::send_probe(std::uint32_t slot, const PinglistEntry& entry) {
+  RnicState& st = rnics_[slot];
+  if (!entry.target_qpn.valid()) return;  // target never registered
+
+  const std::uint64_t pid = next_probe_id_++;
+  Pending p;
+  p.rnic_slot = slot;
+  p.t1_host = cluster_.host(host_).host_now();  // ①
+  p.record.id = pid;
+  p.record.kind = entry.kind;
+  p.record.prober = st.rnic;
+  p.record.target = entry.target;
+  p.record.prober_host = host_;
+  p.record.tuple = entry.tuple;
+  p.record.target_qpn = entry.target_qpn;
+  p.record.service = entry.service;
+  p.record.sent_at = cluster_.scheduler().now();
+  const PathCacheEntry& cache = traced_paths(slot, entry);
+  p.record.fwd_path = cache.fwd;
+  p.record.rev_path = cache.rev;
+  p.record.path_known = cache.known;
+  pending_.emplace(pid, std::move(p));
+
+  Wire w;
+  w.probe_id = pid;
+  w.msg = 0;
+  w.reply_qpn = st.ud_qpn;
+  w.prober_rnic = st.rnic.value;
+  cluster_.open_device(st.rnic).post_send_ud(
+      st.ud_qpn, entry.target_gid, entry.target_qpn, entry.tuple.src_port,
+      cfg_.probe_payload_bytes, w, /*wr_id=*/pid);
+  ++probes_sent_;
+
+  cluster_.scheduler().schedule_after(cfg_.probe_timeout, [this, pid] {
+    finalize_timeout(pid);
+  });
+}
+
+void Agent::on_cqe(std::uint32_t slot, const rnic::Cqe& cqe) {
+  if (!running_) return;
+  if (cqe.is_send) {
+    // Either a probe's send CQE (② — wr_id == probe id) or an ACK1 send CQE
+    // (④ — wr_id in responder_ctx_).
+    if (auto it = pending_.find(cqe.wr_id); it != pending_.end()) {
+      it->second.t2_rnic = cqe.timestamp;  // ②
+      return;
+    }
+    if (auto it = responder_ctx_.find(cqe.wr_id);
+        it != responder_ctx_.end()) {
+      // ④ is known only now — send ACK2 carrying ④-③ (§4.2.1 step 3).
+      const ResponderCtx ctx = it->second;
+      responder_ctx_.erase(it);
+      Wire w;
+      w.probe_id = ctx.probe_id;
+      w.msg = 2;
+      w.responder_delay = cqe.timestamp - ctx.t3_rnic;  // ④-③
+      RnicState& st = rnics_[ctx.slot];
+      cluster_.open_device(st.rnic).post_send_ud(
+          st.ud_qpn, ctx.prober_gid, ctx.prober_qpn, ctx.src_port,
+          cfg_.probe_payload_bytes, w, next_wr_id_++);
+      return;
+    }
+    return;  // ACK2 send CQE: nothing to do
+  }
+
+  const Wire* w = std::any_cast<Wire>(&cqe.payload);
+  if (w == nullptr) return;  // not ours
+  if (w->msg == 0) {
+    handle_probe(slot, cqe, *w);
+  } else {
+    handle_ack(slot, cqe, *w);
+  }
+}
+
+void Agent::handle_probe(std::uint32_t slot, const rnic::Cqe& cqe,
+                         const Wire& w) {
+  if (host_down()) return;  // a dead host answers nothing
+  const TimeNs t3 = cqe.timestamp;  // ③
+  // The Agent process must get scheduled before it can post ACK1; under CPU
+  // starvation this stall exceeds the probe timeout (Fig. 6 right).
+  const TimeNs wakeup = cluster_.host(host_).sample_process_delay();
+  const Gid prober_gid = cqe.src_gid;
+  const Qpn prober_qpn = w.reply_qpn;
+  const std::uint16_t src_port = cqe.tuple.src_port;
+  const std::uint64_t probe_id = w.probe_id;
+  cluster_.scheduler().schedule_after(wakeup, [this, slot, t3, prober_gid,
+                                               prober_qpn, src_port,
+                                               probe_id] {
+    if (!running_ || host_down()) return;
+    RnicState& st = rnics_[slot];
+    const std::uint64_t wr = next_wr_id_++;
+    ResponderCtx ctx;
+    ctx.slot = slot;
+    ctx.t3_rnic = t3;
+    ctx.prober_gid = prober_gid;
+    ctx.prober_qpn = prober_qpn;
+    ctx.src_port = src_port;
+    ctx.probe_id = probe_id;
+    responder_ctx_.emplace(wr, ctx);
+    Wire ack1;
+    ack1.probe_id = probe_id;
+    ack1.msg = 1;
+    // ACK1 mirrors the probe's source port, like RNIC hardware ACKs on the
+    // RC QPs services use (§5).
+    cluster_.open_device(st.rnic).post_send_ud(
+        st.ud_qpn, prober_gid, prober_qpn, src_port,
+        cfg_.probe_payload_bytes, ack1, wr);
+    ++responses_sent_;
+  });
+}
+
+void Agent::handle_ack(std::uint32_t /*slot*/, const rnic::Cqe& cqe,
+                       const Wire& w) {
+  auto it = pending_.find(w.probe_id);
+  if (it == pending_.end()) return;  // timed out already (late ACK)
+  Pending& p = it->second;
+  if (w.msg == 1) {
+    p.t5_rnic = cqe.timestamp;  // ⑤
+    // ⑥ is an application timestamp: taken once the Agent process wakes.
+    const std::uint64_t pid = w.probe_id;
+    cluster_.scheduler().schedule_after(
+        cluster_.host(host_).sample_process_delay(), [this, pid] {
+          auto pit = pending_.find(pid);
+          if (pit == pending_.end()) return;
+          pit->second.t6_host = cluster_.host(host_).host_now();  // ⑥
+          finalize_if_complete(pid);
+        });
+  } else if (w.msg == 2) {
+    p.have_ack2 = true;
+    p.record.responder_delay = w.responder_delay;  // ④-③
+    finalize_if_complete(w.probe_id);
+  }
+}
+
+void Agent::finalize_if_complete(std::uint64_t probe_id) {
+  auto it = pending_.find(probe_id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.t2_rnic == kNoTime || p.t5_rnic == kNoTime || p.t6_host == kNoTime ||
+      !p.have_ack2) {
+    return;
+  }
+  p.record.status = ProbeStatus::kOk;
+  p.record.network_rtt =
+      (p.t5_rnic - p.t2_rnic) - p.record.responder_delay;  // (⑤-②)-(④-③)
+  p.record.prober_delay =
+      (p.t6_host - p.t1_host) - (p.t5_rnic - p.t2_rnic);   // (⑥-①)-(⑤-②)
+  outbox_.push_back(std::move(p.record));
+  pending_.erase(it);
+}
+
+void Agent::finalize_timeout(std::uint64_t probe_id) {
+  auto it = pending_.find(probe_id);
+  if (it == pending_.end()) return;  // completed in time
+  it->second.record.status = ProbeStatus::kTimeout;
+  outbox_.push_back(std::move(it->second.record));
+  pending_.erase(it);
+}
+
+void Agent::upload_now() {
+  if (!running_ || host_down()) return;  // a down host uploads nothing
+  if (outbox_.empty()) return;
+  std::vector<ProbeRecord> batch;
+  batch.swap(outbox_);
+  upload_(host_, std::move(batch));
+}
+
+void Agent::on_service_connect(const verbs::ModifyQpEvent& e) {
+  if (!running_) return;
+  // Find which of our RNICs this connection uses.
+  for (RnicState& st : rnics_) {
+    if (st.rnic != e.rnic) continue;
+    // Ignore our own probing QPs (they are UD and never call modify_qp, but
+    // be defensive about other monitors).
+    const auto info = controller_.comm_info_by_ip(e.tuple.dst_ip);
+    if (!info) {
+      log_warn() << "agent(" << host_.value
+                 << "): no comm info for service target ip";
+      return;
+    }
+    PinglistEntry entry;
+    entry.target = info->rnic;
+    entry.target_gid = info->gid;
+    entry.target_qpn = info->qpn;
+    entry.tuple = e.tuple;  // the service flow's exact 5-tuple
+    entry.kind = ProbeKind::kServiceTracing;
+    entry.service = e.service;
+    st.service_by_qpn[e.local_qpn.value] = entry;
+    st.service.push_back(entry);
+    return;
+  }
+}
+
+void Agent::on_service_disconnect(const verbs::DestroyQpEvent& e) {
+  if (!running_) return;
+  for (RnicState& st : rnics_) {
+    if (st.rnic != e.rnic) continue;
+    const auto it = st.service_by_qpn.find(e.local_qpn.value);
+    if (it == st.service_by_qpn.end()) return;
+    const FiveTuple tuple = it->second.tuple;
+    st.service_by_qpn.erase(it);
+    st.service.erase(
+        std::remove_if(st.service.begin(), st.service.end(),
+                       [&tuple](const PinglistEntry& p) {
+                         return p.tuple == tuple;
+                       }),
+        st.service.end());
+    st.service_next = 0;
+    return;
+  }
+}
+
+}  // namespace rpm::core

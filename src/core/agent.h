@@ -1,0 +1,190 @@
+// R-Pingmesh Agent (§4.2).
+//
+// One Agent runs per host and manages every RNIC on it. Per RNIC it keeps a
+// single UD QP (connectionless: no QPC-cache pressure, Table 1) used for all
+// four roles the paper implements as threads: ToR-mesh probing, inter-ToR
+// probing, service-tracing probing, and responding.
+//
+// The measurement protocol is Figure 4's, faithfully:
+//   ① prober application timestamp before posting    (host clock)
+//   ② prober RNIC send CQE                            (prober RNIC clock)
+//   ③ responder RNIC recv CQE                         (responder RNIC clock)
+//   ④ responder RNIC send CQE of ACK1                 (responder RNIC clock)
+//   ⑤ prober RNIC recv CQE of ACK1                    (prober RNIC clock)
+//   ⑥ prober application timestamp when it sees ACK1  (host clock)
+// ACK2 carries ④-③ (the responder cannot know ④ before ACK1 is on the
+// wire, hence the second ACK). Then:
+//   network RTT      = (⑤-②) - (④-③)
+//   responder delay  = ④-③
+//   prober delay     = (⑥-①) - (⑤-②)
+// Every subtraction pairs readings of ONE clock, so the RNICs' and hosts'
+// offsets/drift cancel. A probe missing either ACK at `probe_timeout` is
+// reported as a timeout.
+//
+// Service tracing (§4.2.2): the Agent attaches to the host's
+// modify_qp/destroy_qp tracepoints; each RC connect contributes a pinglist
+// entry reusing the service flow's exact 5-tuple (so ECMP routes probes onto
+// the service's path); destroy removes it. The service pinglist is shuffled
+// every round (§7.3: probe randomly to avoid phase-locking with the
+// compute/communicate cycle).
+//
+// Path tracing (§4.2.3): paths are traced continuously (not on failure),
+// subject to the switches' Traceroute response rate limits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "core/types.h"
+#include "host/cluster.h"
+#include "sim/scheduler.h"
+
+namespace rpm::core {
+
+struct AgentConfig {
+  TimeNs probe_timeout = msec(500);   // §5
+  Bytes probe_payload_bytes = 50;     // §5
+  TimeNs upload_interval = sec(5);    // §5
+  TimeNs pinglist_refresh = sec(300); // §5: every 5 minutes
+  TimeNs service_probe_interval = msec(10);  // §5
+  TimeNs trace_refresh = sec(2);      // per-tuple Traceroute cadence
+  // §7.4: on fabrics that support INT, path tracing uses the data plane —
+  // no switch-CPU rate limits, so traced paths are always fresh.
+  bool use_int_telemetry = false;
+};
+
+class Agent {
+ public:
+  Agent(host::Cluster& cluster, HostId host, Controller& controller,
+        UploadFn upload, AgentConfig cfg = {});
+  ~Agent();
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  /// Create UD QPs, register comm info with the Controller, pull pinglists,
+  /// attach service tracepoints, start all periodic tasks.
+  void start();
+  void stop();
+
+  /// Simulate the Agent process restarting (e.g. host reboot): every UD QP
+  /// is recreated with a fresh QPN and the Controller is re-registered.
+  /// Other Agents' pinglists stay stale until their next refresh — the
+  /// "QPN reset" noise source (§4.3.1).
+  void restart();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] HostId host_id() const { return host_; }
+
+  /// Force an immediate pinglist refresh (normally every 5 minutes).
+  void refresh_pinglists();
+
+  /// Number of service-tracing entries currently tracked (all RNICs).
+  [[nodiscard]] std::size_t service_entries() const;
+
+  /// Probes sent / responses issued, for overhead accounting (Figure 7).
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+  [[nodiscard]] std::uint64_t responses_sent() const {
+    return responses_sent_;
+  }
+  /// Approximate resident bytes of Agent state (Figure 7's memory metric).
+  [[nodiscard]] std::size_t approx_memory_bytes() const;
+
+ private:
+  /// On-the-wire probe/ACK payload (50 B in production; fields below are
+  /// what matters).
+  struct Wire {
+    std::uint64_t probe_id = 0;
+    std::uint8_t msg = 0;  // 0 = probe, 1 = ACK1, 2 = ACK2
+    TimeNs responder_delay = 0;  // ACK2 only: ④-③
+    Qpn reply_qpn;               // probe only: where ACKs go
+    std::uint32_t prober_rnic = 0;
+  };
+
+  struct PathCacheEntry {
+    routing::Path fwd;
+    routing::Path rev;
+    bool known = false;
+    TimeNs traced_at = kNoTime;
+  };
+
+  struct Pending {
+    ProbeRecord record;
+    TimeNs t1_host = 0;
+    TimeNs t2_rnic = kNoTime;
+    TimeNs t5_rnic = kNoTime;
+    TimeNs t6_host = kNoTime;
+    bool have_ack2 = false;
+    bool done = false;
+    std::uint32_t rnic_slot = 0;
+  };
+
+  struct RnicState {
+    RnicId rnic;
+    Qpn ud_qpn;
+    Pinglist tormesh;
+    Pinglist intertor;
+    std::vector<PinglistEntry> service;
+    std::size_t tormesh_next = 0;
+    std::size_t intertor_next = 0;
+    std::size_t service_next = 0;
+    std::unordered_map<std::uint32_t, PinglistEntry> service_by_qpn;
+    std::unordered_map<std::uint64_t, PathCacheEntry> paths;  // by tuple hash
+    std::unique_ptr<sim::PeriodicTask> tormesh_task;
+    std::unique_ptr<sim::PeriodicTask> intertor_task;
+    std::unique_ptr<sim::PeriodicTask> service_task;
+  };
+
+  void create_qps();
+  void register_with_controller();
+  void attach_tracepoints();
+  void detach_tracepoints();
+  void probe_next(std::uint32_t slot, ProbeKind kind);
+  void send_probe(std::uint32_t slot, const PinglistEntry& entry);
+  void on_cqe(std::uint32_t slot, const rnic::Cqe& cqe);
+  void handle_probe(std::uint32_t slot, const rnic::Cqe& cqe, const Wire& w);
+  void handle_ack(std::uint32_t slot, const rnic::Cqe& cqe, const Wire& w);
+  void finalize_if_complete(std::uint64_t probe_id);
+  void finalize_timeout(std::uint64_t probe_id);
+  PathCacheEntry& traced_paths(std::uint32_t slot, const PinglistEntry& e);
+  void upload_now();
+  void on_service_connect(const verbs::ModifyQpEvent& e);
+  void on_service_disconnect(const verbs::DestroyQpEvent& e);
+  [[nodiscard]] bool host_down() const;
+
+  host::Cluster& cluster_;
+  HostId host_;
+  Controller& controller_;
+  UploadFn upload_;
+  AgentConfig cfg_;
+  Rng rng_;
+
+  bool running_ = false;
+  std::vector<RnicState> rnics_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::vector<ProbeRecord> outbox_;
+  std::uint64_t next_probe_id_;
+  std::uint64_t next_wr_id_ = 1;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t responses_sent_ = 0;
+  int modify_handle_ = 0;
+  int destroy_handle_ = 0;
+  // responder-side context for ACK1 send CQEs, keyed by wr_id
+  struct ResponderCtx {
+    std::uint32_t slot = 0;
+    TimeNs t3_rnic = 0;
+    Gid prober_gid;
+    Qpn prober_qpn;
+    std::uint16_t src_port = 0;
+    std::uint64_t probe_id = 0;
+  };
+  std::unordered_map<std::uint64_t, ResponderCtx> responder_ctx_;
+  std::unique_ptr<sim::PeriodicTask> upload_task_;
+  std::unique_ptr<sim::PeriodicTask> refresh_task_;
+};
+
+}  // namespace rpm::core

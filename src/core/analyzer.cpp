@@ -1,0 +1,556 @@
+#include "core/analyzer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/stats.h"
+
+namespace rpm::core {
+
+Analyzer::Analyzer(const topo::Topology& topo, const Controller& controller,
+                   sim::EventScheduler& sched, AnalyzerConfig cfg)
+    : topo_(topo), controller_(controller), sched_(sched), cfg_(cfg) {
+  if (cfg_.period <= 0) {
+    throw std::invalid_argument("AnalyzerConfig: period must be > 0");
+  }
+}
+
+UploadFn Analyzer::upload_sink() {
+  return [this](HostId host, std::vector<ProbeRecord> records) {
+    upload(host, std::move(records));
+  };
+}
+
+void Analyzer::upload(HostId host, std::vector<ProbeRecord> records) {
+  last_upload_[host.value] = sched_.now();
+  known_hosts_.insert(host.value);
+  if (tap_) {
+    for (const ProbeRecord& r : records) tap_(r);
+  }
+  buffer_.insert(buffer_.end(), std::make_move_iterator(records.begin()),
+                 std::make_move_iterator(records.end()));
+}
+
+void Analyzer::register_service(ServiceBinding binding) {
+  if (!binding.metric) {
+    throw std::invalid_argument("register_service: metric required");
+  }
+  services_.push_back(std::move(binding));
+}
+
+void Analyzer::start() {
+  if (period_task_) return;
+  period_task_ = std::make_unique<sim::PeriodicTask>(
+      sched_, cfg_.period, [this] { analyze_now(); });
+  period_task_->start(cfg_.period);
+}
+
+void Analyzer::stop() {
+  if (period_task_) period_task_->cancel();
+  period_task_.reset();
+}
+
+void Analyzer::vote_paths(const std::vector<const ProbeRecord*>& records,
+                          std::vector<LinkId>& out_links,
+                          std::vector<SwitchId>& out_switches,
+                          std::vector<std::pair<LinkId, std::size_t>>*
+                              top_votes) const {
+  // Algorithm 1: count traversals of each link (and switch) over the
+  // anomalous probes' forward and ACK paths; return the top voted.
+  std::unordered_map<std::uint32_t, std::size_t> link_votes;
+  std::unordered_map<std::uint32_t, std::size_t> switch_votes;
+  for (const ProbeRecord* r : records) {
+    if (!r->path_known) continue;
+    for (const routing::Path* p : {&r->fwd_path, &r->rev_path}) {
+      for (LinkId l : p->links) ++link_votes[l.value];
+      for (SwitchId s : p->switches) ++switch_votes[s.value];
+    }
+  }
+  std::size_t best_link = 0;
+  for (const auto& [_, v] : link_votes) best_link = std::max(best_link, v);
+  for (const auto& [l, v] : link_votes) {
+    if (v == best_link && best_link > 0) out_links.push_back(LinkId{l});
+  }
+  std::size_t best_switch = 0;
+  for (const auto& [_, v] : switch_votes) {
+    best_switch = std::max(best_switch, v);
+  }
+  for (const auto& [s, v] : switch_votes) {
+    if (v == best_switch && best_switch > 0) {
+      out_switches.push_back(SwitchId{s});
+    }
+  }
+  std::sort(out_links.begin(), out_links.end());
+  std::sort(out_switches.begin(), out_switches.end());
+  if (top_votes != nullptr) {
+    std::vector<std::pair<LinkId, std::size_t>> all;
+    all.reserve(link_votes.size());
+    for (const auto& [l, v] : link_votes) all.emplace_back(LinkId{l}, v);
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (all.size() > 10) all.resize(10);
+    *top_votes = std::move(all);
+  }
+}
+
+SlaReport Analyzer::make_sla(
+    const std::vector<const ProbeRecord*>& records,
+    const std::unordered_set<std::uint64_t>& rnic_timeouts,
+    const std::unordered_set<std::uint64_t>& switch_timeouts) const {
+  SlaReport sla;
+  PercentileWindow rtt;
+  PercentileWindow proc;
+  for (const ProbeRecord* r : records) {
+    ++sla.probes;
+    if (r->status == ProbeStatus::kTimeout) {
+      ++sla.timeouts;
+      if (rnic_timeouts.contains(r->id)) sla.rnic_drop_rate += 1.0;
+      if (switch_timeouts.contains(r->id)) sla.switch_drop_rate += 1.0;
+    } else {
+      rtt.add(static_cast<double>(r->network_rtt));
+      proc.add(static_cast<double>(r->responder_delay));
+    }
+  }
+  if (sla.probes > 0) {
+    sla.rnic_drop_rate /= static_cast<double>(sla.probes);
+    sla.switch_drop_rate /= static_cast<double>(sla.probes);
+  }
+  sla.rtt_mean = rtt.mean();
+  sla.rtt_p50 = rtt.percentile(0.50);
+  sla.rtt_p90 = rtt.percentile(0.90);
+  sla.rtt_p99 = rtt.percentile(0.99);
+  sla.rtt_p999 = rtt.percentile(0.999);
+  sla.proc_p50 = proc.percentile(0.50);
+  sla.proc_p90 = proc.percentile(0.90);
+  sla.proc_p99 = proc.percentile(0.99);
+  sla.proc_p999 = proc.percentile(0.999);
+  return sla;
+}
+
+const PeriodReport& Analyzer::analyze_now() {
+  const TimeNs now = sched_.now();
+  PeriodReport rep;
+  rep.period_start = last_period_end_;
+  rep.period_end = now;
+  last_period_end_ = now;
+
+  std::vector<ProbeRecord> records;
+  records.swap(buffer_);
+  rep.records_processed = records.size();
+
+  // ---- step 1: non-network timeouts and probe noise (§4.3.1) ----
+
+  std::unordered_set<std::uint32_t> down_hosts;
+  for (std::uint32_t h : known_hosts_) {
+    const auto it = last_upload_.find(h);
+    if (it == last_upload_.end() ||
+        now - it->second > cfg_.host_silence_threshold) {
+      down_hosts.insert(h);
+    }
+  }
+
+  std::vector<std::optional<AnomalyCause>> cause(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const ProbeRecord& r = records[i];
+    if (r.status != ProbeStatus::kTimeout) continue;
+    const HostId target_host = topo_.rnic(r.target).host;
+    if (down_hosts.contains(target_host.value)) {
+      cause[i] = AnomalyCause::kHostDown;
+      continue;
+    }
+    // QPN-reset noise: the probe addressed a QPN older than the freshest
+    // registration the Controller holds.
+    if (const auto info = controller_.comm_info(r.target);
+        info && info->qpn != r.target_qpn) {
+      cause[i] = AnomalyCause::kQpnReset;
+    }
+  }
+
+  // ---- step 2: anomalous-RNIC detection from ToR-mesh data (§4.3.2) ----
+
+  struct RnicStat {
+    std::size_t total = 0;
+    std::size_t timeouts = 0;
+    PercentileWindow ok_responder_delay;
+  };
+  // Greedy attribution: a dead RNIC's *outgoing* probes also time out and
+  // would inflate its innocent peers' timeout ratios. Repeatedly blame the
+  // RNIC with the worst ratio, discount every probe involving it, and
+  // re-evaluate — peers polluted only by the culprit come out clean.
+  std::unordered_set<std::uint32_t> anomalous_rnics;
+  std::unordered_map<std::uint32_t, RnicStat> per_rnic;
+  for (;;) {
+    per_rnic.clear();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const ProbeRecord& r = records[i];
+      if (r.kind != ProbeKind::kTorMesh || cause[i].has_value()) continue;
+      if (anomalous_rnics.contains(r.prober.value) ||
+          anomalous_rnics.contains(r.target.value)) {
+        continue;
+      }
+      RnicStat& st = per_rnic[r.target.value];
+      ++st.total;
+      if (r.status == ProbeStatus::kTimeout) {
+        ++st.timeouts;
+      } else {
+        st.ok_responder_delay.add(static_cast<double>(r.responder_delay));
+      }
+    }
+    std::uint32_t worst = 0;
+    double worst_frac = cfg_.rnic_timeout_threshold;
+    bool found = false;
+    for (const auto& [rnic, st] : per_rnic) {
+      if (st.total < 3) continue;
+      const double frac = static_cast<double>(st.timeouts) /
+                          static_cast<double>(st.total);
+      if (frac > worst_frac) {
+        worst = rnic;
+        worst_frac = frac;
+        found = true;
+      }
+    }
+    if (!found) break;
+    anomalous_rnics.insert(worst);
+  }
+
+  // Responder-delay evidence per RNIC over ALL completed probes (the greedy
+  // loop above excludes blamed RNICs from its stats, but the Fig. 6 filter
+  // below needs their delays).
+  std::unordered_map<std::uint32_t, PercentileWindow> ok_delay_by_rnic;
+  for (const ProbeRecord& r : records) {
+    if (r.status == ProbeStatus::kOk) {
+      ok_delay_by_rnic[r.target.value].add(
+          static_cast<double>(r.responder_delay));
+    }
+  }
+
+  // Figure 6 false-positive filters: the service occupying the Agent's CPU
+  // makes probes to *all* of a host's RNICs time out at once, and/or shows
+  // up as huge responder delays on the probes that did complete.
+  std::unordered_set<std::uint32_t> cpu_noise_hosts;
+  if (cfg_.enable_cpu_noise_filters) {
+    std::unordered_map<std::uint32_t, std::size_t> anomalous_per_host;
+    for (std::uint32_t r : anomalous_rnics) {
+      ++anomalous_per_host[topo_.rnic(RnicId{r}).host.value];
+    }
+    for (auto it = anomalous_rnics.begin(); it != anomalous_rnics.end();) {
+      const HostId h = topo_.rnic(RnicId{*it}).host;
+      const bool multi_rnic_simultaneous =
+          anomalous_per_host[h.value] >= 2;
+      bool starved_responder = false;
+      if (auto sit = ok_delay_by_rnic.find(*it);
+          sit != ok_delay_by_rnic.end()) {
+        auto& win = sit->second;
+        starved_responder =
+            win.count() > 0 &&
+            win.percentile(0.9) >
+                static_cast<double>(cfg_.starve_delay_threshold);
+      }
+      if (multi_rnic_simultaneous || starved_responder) {
+        cpu_noise_hosts.insert(h.value);
+        it = anomalous_rnics.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Blame window: anomalous now and for the next minute (§5).
+  for (std::uint32_t r : anomalous_rnics) {
+    rnic_blamed_until_[r] = now + cfg_.rnic_blame_window;
+  }
+  const auto blamed = [&](RnicId r) {
+    if (anomalous_rnics.contains(r.value)) return true;
+    const auto it = rnic_blamed_until_.find(r.value);
+    return it != rnic_blamed_until_.end() && it->second >= rep.period_start;
+  };
+
+  // ---- step 3: attribute the remaining timeouts ----
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const ProbeRecord& r = records[i];
+    if (r.status != ProbeStatus::kTimeout || cause[i].has_value()) continue;
+    const HostId target_host = topo_.rnic(r.target).host;
+    // A starved Agent corrupts probes in BOTH directions: its responder
+    // never ACKs (timeouts to it) and its prober thread observes â¥ too
+    // late (timeouts from it). Exclude both from network localization.
+    if (cpu_noise_hosts.contains(target_host.value) ||
+        cpu_noise_hosts.contains(r.prober_host.value)) {
+      cause[i] = AnomalyCause::kAgentCpuNoise;
+    } else if (blamed(r.target) || blamed(r.prober)) {
+      cause[i] = AnomalyCause::kRnicProblem;
+    } else {
+      cause[i] = AnomalyCause::kSwitchProblem;
+    }
+  }
+
+  // Tallies + per-cause evidence sets.
+  std::unordered_set<std::uint64_t> rnic_timeout_ids;
+  std::unordered_set<std::uint64_t> switch_timeout_ids;
+  std::vector<const ProbeRecord*> switch_cluster_evidence;
+  std::unordered_map<std::uint32_t, std::vector<const ProbeRecord*>>
+      switch_service_evidence;  // by service id
+  std::unordered_map<std::uint32_t, std::vector<const ProbeRecord*>>
+      rnic_evidence;  // by rnic id
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!cause[i].has_value()) continue;
+    const ProbeRecord& r = records[i];
+    switch (*cause[i]) {
+      case AnomalyCause::kHostDown:
+        ++rep.timeouts_host_down;
+        break;
+      case AnomalyCause::kQpnReset:
+        ++rep.timeouts_qpn_reset;
+        break;
+      case AnomalyCause::kAgentCpuNoise:
+        ++rep.timeouts_agent_cpu;
+        break;
+      case AnomalyCause::kRnicProblem:
+        ++rep.timeouts_rnic;
+        rnic_timeout_ids.insert(r.id);
+        rnic_evidence[blamed(r.target) ? r.target.value : r.prober.value]
+            .push_back(&r);
+        break;
+      case AnomalyCause::kSwitchProblem:
+        ++rep.timeouts_switch;
+        switch_timeout_ids.insert(r.id);
+        if (r.kind == ProbeKind::kServiceTracing) {
+          switch_service_evidence[r.service.value].push_back(&r);
+        } else {
+          switch_cluster_evidence.push_back(&r);
+        }
+        break;
+    }
+  }
+
+  // ---- emit problems ----
+
+  for (std::uint32_t h : down_hosts) {
+    Problem p;
+    p.category = ProblemCategory::kHostDown;
+    p.host = HostId{h};
+    p.summary = "host " + topo_.host(HostId{h}).name +
+                " stopped uploading (host down)";
+    rep.problems.push_back(std::move(p));
+  }
+
+  for (std::uint32_t r : anomalous_rnics) {
+    Problem p;
+    p.category = ProblemCategory::kRnicProblem;
+    p.rnic = RnicId{r};
+    p.host = topo_.rnic(RnicId{r}).host;
+    p.anomalous_probes = rnic_evidence[r].size();
+    p.summary = "RNIC " + topo_.rnic(RnicId{r}).name +
+                " anomalous (ToR-mesh timeout ratio exceeded)";
+    rep.problems.push_back(std::move(p));
+  }
+
+  for (std::uint32_t h : cpu_noise_hosts) {
+    Problem p;
+    p.category = ProblemCategory::kAgentCpuNoise;
+    p.priority = Priority::kNoise;
+    p.host = HostId{h};
+    p.summary = "probe noise on " + topo_.host(HostId{h}).name +
+                " (service occupies Agent CPU)";
+    rep.problems.push_back(std::move(p));
+  }
+
+  const auto emit_switch_problem = [&](std::vector<const ProbeRecord*>& ev,
+                                       bool from_service, ServiceId svc) {
+    if (ev.size() < cfg_.min_anomalies_for_problem) return;
+    Problem p;
+    p.category = ProblemCategory::kSwitchNetworkProblem;
+    p.anomalous_probes = ev.size();
+    p.detected_by_service_tracing = from_service;
+    p.service = svc;
+    vote_paths(ev, p.suspect_links, p.suspect_switches, &p.top_link_votes);
+    std::ostringstream os;
+    os << "switch network problem (" << ev.size() << " anomalous probes"
+       << (from_service ? ", service tracing" : ", cluster monitoring")
+       << ")";
+    if (!p.suspect_links.empty()) {
+      os << ", top suspect link: " << topo_.link(p.suspect_links.front()).name;
+    }
+    p.summary = os.str();
+    rep.problems.push_back(std::move(p));
+  };
+  emit_switch_problem(switch_cluster_evidence, false, ServiceId{});
+  for (auto& [svc, ev] : switch_service_evidence) {
+    emit_switch_problem(ev, true, ServiceId{svc});
+  }
+
+  // ---- step 4: bottlenecks (high RTT / high processing delay) ----
+
+  std::vector<const ProbeRecord*> hot_cluster;
+  std::unordered_map<std::uint32_t, std::vector<const ProbeRecord*>>
+      hot_service;
+  std::unordered_map<std::uint32_t, PercentileWindow> host_proc_delay;
+  for (const ProbeRecord& r : records) {
+    if (r.status != ProbeStatus::kOk) continue;
+    if (r.network_rtt > cfg_.high_rtt_threshold) {
+      if (r.kind == ProbeKind::kServiceTracing) {
+        hot_service[r.service.value].push_back(&r);
+      } else {
+        hot_cluster.push_back(&r);
+      }
+    }
+    host_proc_delay[topo_.rnic(r.target).host.value].add(
+        static_cast<double>(r.responder_delay));
+  }
+  const auto emit_hot = [&](std::vector<const ProbeRecord*>& ev,
+                            bool from_service, ServiceId svc) {
+    if (ev.size() < cfg_.min_anomalies_for_problem) return;
+    Problem p;
+    p.category = ProblemCategory::kHighNetworkRtt;
+    p.anomalous_probes = ev.size();
+    p.detected_by_service_tracing = from_service;
+    p.service = svc;
+    vote_paths(ev, p.suspect_links, p.suspect_switches, &p.top_link_votes);
+    std::ostringstream os;
+    os << "network congestion: " << ev.size() << " probes above RTT threshold"
+       << (from_service ? " (service tracing)" : " (cluster monitoring)");
+    if (!p.suspect_links.empty()) {
+      os << ", hottest link: " << topo_.link(p.suspect_links.front()).name;
+    }
+    p.summary = os.str();
+    rep.problems.push_back(std::move(p));
+  };
+  emit_hot(hot_cluster, false, ServiceId{});
+  for (auto& [svc, ev] : hot_service) emit_hot(ev, true, ServiceId{svc});
+
+  for (auto& [h, win] : host_proc_delay) {
+    if (cpu_noise_hosts.contains(h)) continue;  // already reported as noise
+    // Tail-based: an overloaded host shows in its P90 even when healthy
+    // probes to its other RNICs dilute the median.
+    if (win.count() >= cfg_.min_anomalies_for_problem &&
+        win.percentile(0.9) >
+            static_cast<double>(cfg_.high_proc_delay_threshold)) {
+      Problem p;
+      p.category = ProblemCategory::kHighProcessingDelay;
+      p.host = HostId{h};
+      p.anomalous_probes = win.count();
+      std::ostringstream os;
+      os << "end-host bottleneck on " << topo_.host(HostId{h}).name
+         << ": p90 processing delay "
+         << win.percentile(0.9) / 1e6 << " ms";
+      p.summary = os.str();
+      rep.problems.push_back(std::move(p));
+    }
+  }
+
+  // QPN-reset noise visibility (not a problem, but operators see it).
+  if (rep.timeouts_qpn_reset > 0) {
+    Problem p;
+    p.category = ProblemCategory::kQpnResetNoise;
+    p.priority = Priority::kNoise;
+    p.anomalous_probes = rep.timeouts_qpn_reset;
+    p.summary = "QPN-reset probe noise (stale pinglists after Agent restart)";
+    rep.problems.push_back(std::move(p));
+  }
+
+  // ---- step 5: SLA tracking ----
+
+  std::vector<const ProbeRecord*> cluster_records;
+  std::unordered_map<std::uint32_t, std::vector<const ProbeRecord*>>
+      service_records;
+  for (const ProbeRecord& r : records) {
+    if (r.kind == ProbeKind::kServiceTracing) {
+      service_records[r.service.value].push_back(&r);
+    } else {
+      cluster_records.push_back(&r);
+    }
+  }
+  rep.cluster_sla =
+      make_sla(cluster_records, rnic_timeout_ids, switch_timeout_ids);
+  for (auto& [svc, recs] : service_records) {
+    rep.service_slas.emplace_back(
+        ServiceId{svc}, make_sla(recs, rnic_timeout_ids, switch_timeout_ids));
+  }
+
+  // ---- step 6: impact (needs the service networks from this period) ----
+
+  // Service network = every link/rnic/host the service's tracing probes
+  // touched this period.
+  struct ServiceNet {
+    std::unordered_set<std::uint32_t> links;
+    std::unordered_set<std::uint32_t> rnics;
+    std::unordered_set<std::uint32_t> hosts;
+  };
+  std::unordered_map<std::uint32_t, ServiceNet> nets;
+  for (const ProbeRecord& r : records) {
+    if (r.kind != ProbeKind::kServiceTracing) continue;
+    ServiceNet& n = nets[r.service.value];
+    n.rnics.insert(r.prober.value);
+    n.rnics.insert(r.target.value);
+    n.hosts.insert(topo_.rnic(r.prober).host.value);
+    n.hosts.insert(topo_.rnic(r.target).host.value);
+    if (r.path_known) {
+      for (const routing::Path* p : {&r.fwd_path, &r.rev_path}) {
+        for (LinkId l : p->links) n.links.insert(l.value);
+      }
+    }
+  }
+
+  for (Problem& p : rep.problems) {
+    if (p.priority == Priority::kNoise) continue;
+    // Find a service whose network this problem touches.
+    ServiceId affected;
+    if (p.detected_by_service_tracing) {
+      affected = p.service;
+    } else {
+      for (const auto& [svc, net] : nets) {
+        const bool rnic_hit =
+            p.rnic.valid() && net.rnics.contains(p.rnic.value);
+        // Host overlap only applies to host-scoped problems (host down, CPU
+        // bottleneck). An RNIC problem on a worker host whose OTHER RNIC
+        // serves the job is still outside the service network (=> P2).
+        const bool host_hit = !p.rnic.valid() && p.host.valid() &&
+                              net.hosts.contains(p.host.value);
+        bool link_hit = false;
+        for (LinkId l : p.suspect_links) {
+          if (net.links.contains(l.value)) {
+            link_hit = true;
+            break;
+          }
+        }
+        if (rnic_hit || host_hit || link_hit) {
+          affected = ServiceId{svc};
+          break;
+        }
+      }
+    }
+    if (!affected.valid()) {
+      p.priority = Priority::kP2;  // outside every service network
+      continue;
+    }
+    p.in_service_network = true;
+    p.service = affected;
+    // Severe metric degradation => P0; otherwise P1 (fix on benefit).
+    double metric = 1.0;
+    for (const ServiceBinding& b : services_) {
+      if (b.id == affected) metric = b.metric();
+    }
+    p.priority = metric < cfg_.degradation_threshold ? Priority::kP0
+                                                     : Priority::kP1;
+  }
+
+  history_.push_back(std::move(rep));
+  while (history_.size() > cfg_.history_limit) history_.pop_front();
+  return history_.back();
+}
+
+bool Analyzer::network_innocent(ServiceId service) const {
+  const PeriodReport* rep = last_report();
+  if (rep == nullptr) return true;
+  for (const Problem& p : rep->problems) {
+    if ((p.priority == Priority::kP0 || p.priority == Priority::kP1) &&
+        p.service == service) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rpm::core

@@ -1,0 +1,135 @@
+// R-Pingmesh Analyzer (§4.3, §5).
+//
+// Every `period` (20 s in production) the Analyzer processes all records
+// Agents uploaded during the period:
+//
+//  1. Rule out non-network timeouts and probe noise (§4.3.1):
+//       host down   — the target's Agent stopped uploading (> 20 s silent);
+//       QPN reset   — the probe addressed a stale QPN (compare against the
+//                     Controller's freshest registration);
+//       Agent-CPU   — (Figure 6 fix) probes to MULTIPLE RNICs of one host
+//                     "dropped" simultaneously, or the responder showed
+//                     huge processing delays: the Agent was starved, the
+//                     network is innocent.
+//  2. Detect anomalous RNICs from ToR-mesh probes (§4.3.2): an RNIC with
+//     > 10% ToR-mesh timeouts is anomalous; every anomalous probe touching
+//     it (this period and for the next minute) is attributed to the RNIC
+//     and excluded from switch localization.
+//  3. Localize switch network problems (§4.3.3, Algorithm 1): vote over the
+//     forward+ACK paths of the remaining anomalous probes; the links (and
+//     switches) with the most votes are the suspects. Cluster Monitoring
+//     and each service's Service Tracing evidence are voted separately.
+//  4. Detect performance bottlenecks: sustained high network RTT (switch
+//     congestion) and sustained high end-host processing delay (CPU
+//     overload, Figure 8).
+//  5. Track SLAs (drop rates split RNIC/switch, RTT and processing-delay
+//     P50..P999) for the cluster and for each service network.
+//  6. Assess service impact (§4.3.4): P0 / P1 / P2 per problem, and the
+//     "network innocent" verdict when a degraded service shows no P0/P1.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/types.h"
+#include "sim/scheduler.h"
+#include "topo/topology.h"
+
+namespace rpm::core {
+
+struct AnalyzerConfig {
+  TimeNs period = sec(20);                     // §5
+  double rnic_timeout_threshold = 0.10;        // §5: >10% ToR-mesh timeouts
+  TimeNs rnic_blame_window = sec(60);          // §5: blame RNIC for 1 min
+  TimeNs host_silence_threshold = sec(20);     // §5: no upload for 20 s
+  std::size_t min_anomalies_for_problem = 3;   // evidence floor
+  TimeNs high_rtt_threshold = usec(500);       // congestion flag
+  TimeNs high_proc_delay_threshold = msec(5);  // CPU-overload flag
+  TimeNs starve_delay_threshold = msec(100);   // Fig. 6 responder-delay test
+  double degradation_threshold = 0.5;          // metric below => severe (P0)
+  bool enable_cpu_noise_filters = true;        // Fig. 6 improvements
+  std::size_t history_limit = 512;
+};
+
+/// How the Analyzer watches a service's key performance metric (§4.3.4):
+/// `metric` returns the current relative performance in [0,1].
+struct ServiceBinding {
+  ServiceId id;
+  std::function<double()> metric;
+};
+
+class Analyzer {
+ public:
+  Analyzer(const topo::Topology& topo, const Controller& controller,
+           sim::EventScheduler& sched, AnalyzerConfig cfg = {});
+
+  /// The sink Agents upload to (hand this to every Agent).
+  [[nodiscard]] UploadFn upload_sink();
+  void upload(HostId host, std::vector<ProbeRecord> records);
+
+  /// Optional observer invoked for every uploaded record (monitoring UIs,
+  /// benches plotting per-probe series). Not used by the analysis itself.
+  void set_record_tap(std::function<void(const ProbeRecord&)> tap) {
+    tap_ = std::move(tap);
+  }
+
+  void register_service(ServiceBinding binding);
+
+  /// Begin periodic analysis.
+  void start();
+  void stop();
+
+  /// Run one analysis over everything buffered since the previous period.
+  const PeriodReport& analyze_now();
+
+  [[nodiscard]] const std::deque<PeriodReport>& history() const {
+    return history_;
+  }
+  [[nodiscard]] const PeriodReport* last_report() const {
+    return history_.empty() ? nullptr : &history_.back();
+  }
+
+  /// §4.3.4: true when the last period shows no P0/P1 problem affecting
+  /// this service — the network is innocent of the service's woes.
+  [[nodiscard]] bool network_innocent(ServiceId service) const;
+
+  [[nodiscard]] const AnalyzerConfig& config() const { return cfg_; }
+
+ private:
+  struct Evidence {
+    std::vector<const ProbeRecord*> records;
+  };
+
+  void vote_paths(const std::vector<const ProbeRecord*>& records,
+                  std::vector<LinkId>& out_links,
+                  std::vector<SwitchId>& out_switches,
+                  std::vector<std::pair<LinkId, std::size_t>>* top_votes =
+                      nullptr) const;
+  void assess_impact(PeriodReport& report) const;
+  SlaReport make_sla(const std::vector<const ProbeRecord*>& records,
+                     const std::unordered_set<std::uint64_t>& rnic_timeouts,
+                     const std::unordered_set<std::uint64_t>& switch_timeouts)
+      const;
+
+  const topo::Topology& topo_;
+  const Controller& controller_;
+  sim::EventScheduler& sched_;
+  AnalyzerConfig cfg_;
+
+  std::function<void(const ProbeRecord&)> tap_;
+  std::vector<ProbeRecord> buffer_;
+  std::unordered_map<std::uint32_t, TimeNs> last_upload_;  // by host id
+  std::unordered_set<std::uint32_t> known_hosts_;
+  std::unordered_map<std::uint32_t, TimeNs> rnic_blamed_until_;
+  std::vector<ServiceBinding> services_;
+  std::deque<PeriodReport> history_;
+  TimeNs last_period_end_ = 0;
+  std::unique_ptr<sim::PeriodicTask> period_task_;
+};
+
+}  // namespace rpm::core

@@ -1,0 +1,221 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rpm::core {
+
+namespace {
+
+double binomial(std::uint32_t n, std::uint32_t k) {
+  // Exact enough in double for n <= ~1000.
+  double r = 1.0;
+  for (std::uint32_t i = 1; i <= k; ++i) {
+    r *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return r;
+}
+
+/// P(k tuples do NOT cover all N paths) by inclusion-exclusion.
+double uncovered_probability(std::uint32_t n, std::uint32_t k) {
+  double sum = 0.0;
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    const double term =
+        binomial(n, i) *
+        std::pow(1.0 - static_cast<double>(i) / static_cast<double>(n),
+                 static_cast<double>(k));
+    sum += (i % 2 == 1) ? term : -term;
+  }
+  return std::max(0.0, sum);
+}
+
+}  // namespace
+
+std::uint32_t equation1_min_tuples(std::uint32_t num_paths,
+                                   double coverage_p) {
+  if (num_paths == 0) throw std::invalid_argument("equation1: N must be > 0");
+  if (coverage_p <= 0.0 || coverage_p >= 1.0) {
+    throw std::invalid_argument("equation1: P must be in (0, 1)");
+  }
+  if (num_paths == 1) return 1;
+  const double budget = 1.0 - coverage_p;
+  for (std::uint32_t k = num_paths;; ++k) {
+    if (uncovered_probability(num_paths, k) <= budget) return k;
+    if (k > num_paths * 1000) {
+      throw std::runtime_error("equation1: failed to converge");
+    }
+  }
+}
+
+std::uint32_t count_parallel_paths(const routing::EcmpRouter& router,
+                                   SwitchId src_tor, SwitchId dst_tor) {
+  if (src_tor == dst_tor) return 1;
+  std::uint32_t product = 1;
+  SwitchId cur = src_tor;
+  for (int hop = 0; hop < 16; ++hop) {
+    const auto& cand = router.candidates(cur, dst_tor);
+    if (cand.empty()) {
+      throw std::runtime_error("count_parallel_paths: unreachable ToR");
+    }
+    product *= static_cast<std::uint32_t>(cand.size());
+    cur = router.topology().link(cand.front()).to.as_switch();
+    if (cur == dst_tor) return product;
+  }
+  throw std::runtime_error("count_parallel_paths: path too long");
+}
+
+Controller::Controller(const topo::Topology& topo,
+                       const routing::EcmpRouter& router, ControllerConfig cfg)
+    : topo_(topo), router_(router), cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.per_link_probes_per_sec <= 0.0 ||
+      cfg_.tormesh_probes_per_sec <= 0.0) {
+    throw std::invalid_argument("ControllerConfig: probe rates must be > 0");
+  }
+  build_intertor_plan();
+}
+
+void Controller::register_agent(HostId host,
+                                const std::vector<RnicCommInfo>& rnics) {
+  for (const RnicCommInfo& info : rnics) {
+    if (topo_.rnic(info.rnic).host != host) {
+      throw std::invalid_argument(
+          "register_agent: RNIC does not belong to this host");
+    }
+    registry_[info.rnic.value] = info;
+  }
+}
+
+std::optional<RnicCommInfo> Controller::comm_info(RnicId rnic) const {
+  const auto it = registry_.find(rnic.value);
+  if (it == registry_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<RnicCommInfo> Controller::comm_info_by_ip(IpAddr ip) const {
+  // IPs are topology-stable, so resolve through the topology.
+  try {
+    return comm_info(topo_.rnic_by_ip(ip));
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+Pinglist Controller::tormesh_pinglist(RnicId rnic) const {
+  const topo::RnicInfo& self = topo_.rnic(rnic);
+  Pinglist out;
+  for (RnicId other : topo_.rnics_under_tor(self.tor)) {
+    if (other == rnic) continue;
+    const auto info = comm_info(other);
+    if (!info) continue;  // never registered: cannot be probed yet
+    PinglistEntry e;
+    e.target = other;
+    e.target_gid = info->gid;
+    e.target_qpn = info->qpn;
+    e.tuple.src_ip = self.ip;
+    e.tuple.dst_ip = info->ip;
+    // Stable per-pair port: ToR-mesh paths have no ECMP anyway.
+    e.tuple.src_port = static_cast<std::uint16_t>(
+        29000 + (rnic.value * 131 + other.value * 31) % 1000);
+    e.kind = ProbeKind::kTorMesh;
+    out.entries.push_back(e);
+  }
+  // One probe every 1/rate seconds, cycling over targets (§5: 10 pps).
+  out.probe_interval =
+      static_cast<TimeNs>(1e9 / cfg_.tormesh_probes_per_sec);
+  return out;
+}
+
+std::uint32_t Controller::tuples_for_tor(SwitchId tor) const {
+  const auto it = plans_.find(tor.value);
+  if (it == plans_.end()) throw std::out_of_range("tuples_for_tor: not a ToR");
+  return it->second.k;
+}
+
+Controller::InterTorTuple Controller::make_tuple(SwitchId tor, Rng& rng) {
+  const auto& local = topo_.rnics_under_tor(tor);
+  const auto& tors = topo_.tor_switches();
+  InterTorTuple t;
+  t.src = local[rng.index(local.size())];
+  // Random destination under a different ToR.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const SwitchId dst_tor = tors[rng.index(tors.size())];
+    if (dst_tor == tor) continue;
+    const auto& remote = topo_.rnics_under_tor(dst_tor);
+    if (remote.empty()) continue;
+    t.dst = remote[rng.index(remote.size())];
+    break;
+  }
+  t.src_port = static_cast<std::uint16_t>(cfg_.intertor_port_base +
+                                          (next_port_++ % 20000));
+  return t;
+}
+
+void Controller::build_intertor_plan() {
+  const auto& tors = topo_.tor_switches();
+  if (tors.size() < 2) return;  // single-ToR cluster: nothing to plan
+  for (SwitchId tor : tors) {
+    TorPlan plan;
+    for (SwitchId other : tors) {
+      if (other == tor) continue;
+      plan.parallel_paths = std::max(
+          plan.parallel_paths, count_parallel_paths(router_, tor, other));
+    }
+    plan.k = equation1_min_tuples(plan.parallel_paths,
+                                  cfg_.coverage_probability);
+    for (std::uint32_t i = 0; i < plan.k; ++i) {
+      plan.tuples.push_back(make_tuple(tor, rng_));
+    }
+    // Cadence: k tuples spread over N parallel paths; to give every link
+    // >= per_link_probes_per_sec, each tuple fires at rate * N / k.
+    const double per_tuple_hz =
+        cfg_.per_link_probes_per_sec *
+        static_cast<double>(plan.parallel_paths) /
+        static_cast<double>(plan.k);
+    plan.per_tuple_interval =
+        static_cast<TimeNs>(1e9 / std::max(0.1, per_tuple_hz));
+    plans_[tor.value] = std::move(plan);
+  }
+}
+
+Pinglist Controller::intertor_pinglist(RnicId rnic) const {
+  const topo::RnicInfo& self = topo_.rnic(rnic);
+  Pinglist out;
+  const auto it = plans_.find(self.tor.value);
+  if (it == plans_.end()) return out;
+  const TorPlan& plan = it->second;
+  for (const InterTorTuple& t : plan.tuples) {
+    if (t.src != rnic) continue;
+    const auto info = comm_info(t.dst);
+    if (!info) continue;
+    PinglistEntry e;
+    e.target = t.dst;
+    e.target_gid = info->gid;
+    e.target_qpn = info->qpn;
+    e.tuple.src_ip = self.ip;
+    e.tuple.dst_ip = info->ip;
+    e.tuple.src_port = t.src_port;
+    e.kind = ProbeKind::kInterTor;
+    out.entries.push_back(e);
+  }
+  // The Agent cycles its entries with one probe per interval; to keep each
+  // tuple at per_tuple_interval, the list interval shrinks with list size.
+  const auto n = static_cast<TimeNs>(std::max<std::size_t>(
+      1, out.entries.size()));
+  out.probe_interval = std::max<TimeNs>(usec(100),
+                                        plan.per_tuple_interval / n);
+  return out;
+}
+
+void Controller::rotate_intertor_tuples() {
+  for (auto& [tor_value, plan] : plans_) {
+    const auto n = static_cast<std::size_t>(std::ceil(
+        cfg_.rotate_fraction * static_cast<double>(plan.tuples.size())));
+    for (std::size_t i = 0; i < n && !plan.tuples.empty(); ++i) {
+      const std::size_t victim = rng_.index(plan.tuples.size());
+      plan.tuples[victim] = make_tuple(SwitchId{tor_value}, rng_);
+    }
+  }
+}
+
+}  // namespace rpm::core

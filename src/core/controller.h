@@ -1,0 +1,108 @@
+// R-Pingmesh Controller (§4.1).
+//
+// Three jobs:
+//  1. Central registry of the latest RNIC communication info (GID + QPN).
+//     QPNs change whenever an Agent (re)starts, so Agents re-register and
+//     everyone else's pinglists go stale until the next refresh — which is
+//     precisely the "QPN reset" noise the Analyzer filters.
+//  2. Pinglist generation. Per RNIC: a ToR-mesh pinglist (every other RNIC
+//     under the same ToR) and an inter-ToR pinglist. The inter-ToR list is
+//     sized by Equation (1): the minimum k such that k random 5-tuples cover
+//     all N parallel ECMP paths with probability >= P (coupon collector).
+//     20% of inter-ToR tuples are rotated every hour to catch tuple-specific
+//     silent drops.
+//  3. Serving Agents' comm-info lookups for Service Tracing targets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/types.h"
+#include "routing/ecmp.h"
+#include "topo/topology.h"
+
+namespace rpm::core {
+
+struct ControllerConfig {
+  double coverage_probability = 0.99;  // P in Equation (1)
+  double per_link_probes_per_sec = 10.0;  // inter-ToR target rate (§5)
+  double tormesh_probes_per_sec = 10.0;   // per RNIC pair group (§5)
+  double rotate_fraction = 0.20;          // inter-ToR tuples per rotation
+  std::uint16_t intertor_port_base = 30000;
+  std::uint64_t seed = 99;
+};
+
+/// Solves Equation (1): smallest k >= N with
+///   sum_{i=1..N} (-1)^{i+1} C(N,i) (1 - i/N)^k <= 1 - P.
+std::uint32_t equation1_min_tuples(std::uint32_t num_paths, double coverage_p);
+
+/// Counts parallel equal-cost paths between two ToRs by multiplying ECMP
+/// fan-outs along one shortest path (exact for symmetric Clos fabrics).
+std::uint32_t count_parallel_paths(const routing::EcmpRouter& router,
+                                   SwitchId src_tor, SwitchId dst_tor);
+
+class Controller {
+ public:
+  Controller(const topo::Topology& topo, const routing::EcmpRouter& router,
+             ControllerConfig cfg = {});
+
+  // ---- registry ----
+
+  /// Called by an Agent when it starts or restarts: stores the freshest
+  /// comm info for every RNIC the Agent manages.
+  void register_agent(HostId host, const std::vector<RnicCommInfo>& rnics);
+
+  /// Latest comm info for an RNIC (nullopt if its Agent never registered).
+  [[nodiscard]] std::optional<RnicCommInfo> comm_info(RnicId rnic) const;
+  [[nodiscard]] std::optional<RnicCommInfo> comm_info_by_ip(IpAddr ip) const;
+
+  // ---- pinglists ----
+
+  /// ToR-mesh pinglist for `rnic`: all other registered RNICs under the
+  /// same ToR, probed at the ToR-mesh cadence.
+  [[nodiscard]] Pinglist tormesh_pinglist(RnicId rnic) const;
+
+  /// Inter-ToR pinglist for `rnic`: this RNIC's share of its ToR's k
+  /// Equation-1 tuples, with the Controller-computed probe interval.
+  [[nodiscard]] Pinglist intertor_pinglist(RnicId rnic) const;
+
+  /// Rotate `rotate_fraction` of every ToR's inter-ToR tuples (hourly in
+  /// production).
+  void rotate_intertor_tuples();
+
+  /// Equation-1 k for a ToR (max over destination ToRs), exposed for tests.
+  [[nodiscard]] std::uint32_t tuples_for_tor(SwitchId tor) const;
+
+  [[nodiscard]] const ControllerConfig& config() const { return cfg_; }
+
+ private:
+  struct InterTorTuple {
+    RnicId src;
+    RnicId dst;
+    std::uint16_t src_port;
+  };
+
+  void build_intertor_plan();
+  InterTorTuple make_tuple(SwitchId tor, Rng& rng);
+
+  const topo::Topology& topo_;
+  const routing::EcmpRouter& router_;
+  ControllerConfig cfg_;
+  Rng rng_;
+
+  std::unordered_map<std::uint32_t, RnicCommInfo> registry_;  // by rnic id
+  // Per ToR: the k selected inter-ToR tuples and the per-tuple cadence.
+  struct TorPlan {
+    std::uint32_t parallel_paths = 1;
+    std::uint32_t k = 0;
+    std::vector<InterTorTuple> tuples;
+    TimeNs per_tuple_interval = msec(100);
+  };
+  std::unordered_map<std::uint32_t, TorPlan> plans_;  // by tor switch id
+  std::uint16_t next_port_ = 0;
+};
+
+}  // namespace rpm::core

@@ -1,0 +1,40 @@
+#include "core/rpingmesh.h"
+
+namespace rpm::core {
+
+RPingmesh::RPingmesh(host::Cluster& cluster, RPingmeshConfig cfg)
+    : cluster_(cluster),
+      cfg_(cfg),
+      controller_(cluster.topology(), cluster.router(), cfg.controller),
+      analyzer_(cluster.topology(), controller_, cluster.scheduler(),
+                cfg.analyzer) {
+  agents_.reserve(cluster_.num_hosts());
+  for (const topo::HostInfo& h : cluster_.topology().hosts()) {
+    agents_.push_back(std::make_unique<Agent>(
+        cluster_, h.id, controller_, analyzer_.upload_sink(), cfg.agent));
+  }
+}
+
+void RPingmesh::start() {
+  if (running_) return;
+  running_ = true;
+  for (auto& a : agents_) a->start();
+  // Agents registered on start; refresh once more so every pinglist sees
+  // every peer's comm info (first registration order matters otherwise).
+  for (auto& a : agents_) a->refresh_pinglists();
+  analyzer_.start();
+  rotation_task_ = std::make_unique<sim::PeriodicTask>(
+      cluster_.scheduler(), cfg_.tuple_rotation_interval,
+      [this] { controller_.rotate_intertor_tuples(); });
+  rotation_task_->start(cfg_.tuple_rotation_interval);
+}
+
+void RPingmesh::stop() {
+  if (!running_) return;
+  running_ = false;
+  for (auto& a : agents_) a->stop();
+  analyzer_.stop();
+  if (rotation_task_) rotation_task_->cancel();
+}
+
+}  // namespace rpm::core

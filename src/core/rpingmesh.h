@@ -1,0 +1,52 @@
+// Top-level assembly: deploy R-Pingmesh (Controller + one Agent per host +
+// Analyzer) onto a Cluster. This is the public entry point most examples
+// and benches use.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/analyzer.h"
+#include "core/controller.h"
+#include "host/cluster.h"
+
+namespace rpm::core {
+
+struct RPingmeshConfig {
+  ControllerConfig controller{};
+  AgentConfig agent{};
+  AnalyzerConfig analyzer{};
+  TimeNs tuple_rotation_interval = sec(3600);  // §5: rotate 20% hourly
+};
+
+class RPingmesh {
+ public:
+  explicit RPingmesh(host::Cluster& cluster, RPingmeshConfig cfg = {});
+
+  /// Start every Agent, the Analyzer's 20 s loop, and the hourly inter-ToR
+  /// tuple rotation.
+  void start();
+  void stop();
+
+  [[nodiscard]] Controller& controller() { return controller_; }
+  [[nodiscard]] Analyzer& analyzer() { return analyzer_; }
+  [[nodiscard]] Agent& agent(HostId host) { return *agents_.at(host.value); }
+  [[nodiscard]] std::size_t num_agents() const { return agents_.size(); }
+
+  /// Watch a service's performance metric for impact assessment (§4.3.4).
+  void watch_service(ServiceBinding binding) {
+    analyzer_.register_service(std::move(binding));
+  }
+
+ private:
+  host::Cluster& cluster_;
+  RPingmeshConfig cfg_;
+  Controller controller_;
+  Analyzer analyzer_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::unique_ptr<sim::PeriodicTask> rotation_task_;
+  bool running_ = false;
+};
+
+}  // namespace rpm::core

@@ -1,0 +1,67 @@
+#include "core/types.h"
+
+namespace rpm::core {
+
+const char* probe_kind_name(ProbeKind k) {
+  switch (k) {
+    case ProbeKind::kTorMesh:
+      return "tor-mesh";
+    case ProbeKind::kInterTor:
+      return "inter-tor";
+    case ProbeKind::kServiceTracing:
+      return "service-tracing";
+  }
+  return "?";
+}
+
+const char* anomaly_cause_name(AnomalyCause c) {
+  switch (c) {
+    case AnomalyCause::kHostDown:
+      return "host-down";
+    case AnomalyCause::kQpnReset:
+      return "qpn-reset";
+    case AnomalyCause::kAgentCpuNoise:
+      return "agent-cpu-noise";
+    case AnomalyCause::kRnicProblem:
+      return "rnic-problem";
+    case AnomalyCause::kSwitchProblem:
+      return "switch-problem";
+  }
+  return "?";
+}
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kP0:
+      return "P0";
+    case Priority::kP1:
+      return "P1";
+    case Priority::kP2:
+      return "P2";
+    case Priority::kNoise:
+      return "noise";
+  }
+  return "?";
+}
+
+const char* problem_category_name(ProblemCategory c) {
+  switch (c) {
+    case ProblemCategory::kHostDown:
+      return "host-down";
+    case ProblemCategory::kRnicProblem:
+      return "rnic-problem";
+    case ProblemCategory::kSwitchNetworkProblem:
+      return "switch-network-problem";
+    case ProblemCategory::kHighNetworkRtt:
+      return "high-network-rtt";
+    case ProblemCategory::kHighProcessingDelay:
+      return "high-processing-delay";
+    case ProblemCategory::kQpnResetNoise:
+      return "qpn-reset-noise";
+    case ProblemCategory::kAgentCpuNoise:
+      return "agent-cpu-noise";
+  }
+  return "?";
+}
+
+}  // namespace rpm::core

@@ -1,0 +1,161 @@
+// Shared vocabulary of the R-Pingmesh system: probe records, pinglists,
+// communication info, problems, priorities, SLA reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/five_tuple.h"
+#include "common/types.h"
+#include "routing/ecmp.h"
+
+namespace rpm::core {
+
+/// Which probing task produced a probe (§3.2).
+enum class ProbeKind : std::uint8_t {
+  kTorMesh,         // Cluster Monitoring: all RNICs under the same ToR
+  kInterTor,        // Cluster Monitoring: Equation-1-sized cross-ToR tuples
+  kServiceTracing,  // probes reusing live service-flow 5-tuples
+};
+
+const char* probe_kind_name(ProbeKind k);
+
+enum class ProbeStatus : std::uint8_t { kOk, kTimeout };
+
+/// Latest communication info of an Agent-managed RNIC, as stored by the
+/// Controller (§4.1). The QPN changes whenever the Agent (re)starts.
+struct RnicCommInfo {
+  RnicId rnic;
+  IpAddr ip;
+  Gid gid;
+  Qpn qpn;
+};
+
+/// One entry of a pinglist: whom to probe and with which 5-tuple.
+struct PinglistEntry {
+  RnicId target;
+  Gid target_gid;
+  Qpn target_qpn;
+  FiveTuple tuple;  // src_port chosen by the Controller / service monitor
+  ProbeKind kind = ProbeKind::kTorMesh;
+  ServiceId service;  // valid for service-tracing entries
+};
+
+/// A pinglist plus the probing cadence the Controller computed for it.
+struct Pinglist {
+  std::vector<PinglistEntry> entries;
+  TimeNs probe_interval = msec(100);
+};
+
+/// One probe's outcome, as uploaded by the Agent to the Analyzer (§4.2.3).
+struct ProbeRecord {
+  std::uint64_t id = 0;
+  ProbeKind kind = ProbeKind::kTorMesh;
+  RnicId prober;
+  RnicId target;
+  HostId prober_host;
+  FiveTuple tuple;
+  Qpn target_qpn;       // the QPN the probe addressed (QPN-reset detection)
+  ServiceId service;    // service-tracing probes only
+  TimeNs sent_at = 0;   // upload bookkeeping (wall time)
+  ProbeStatus status = ProbeStatus::kTimeout;
+  // valid when status == kOk:
+  TimeNs network_rtt = 0;       // (⑤-②)-(④-③)
+  TimeNs responder_delay = 0;   // ④-③ (from the second ACK)
+  TimeNs prober_delay = 0;      // (⑥-①)-(⑤-②)
+  // most recent traced paths for this 5-tuple (may be stale; §4.2.3):
+  routing::Path fwd_path;
+  routing::Path rev_path;
+  bool path_known = false;
+};
+
+/// Final categorization of an anomalous probe (§4.3).
+enum class AnomalyCause : std::uint8_t {
+  kHostDown,       // non-network: target host stopped uploading
+  kQpnReset,       // probe noise: stale QPN
+  kAgentCpuNoise,  // probe noise: service starved the Agent (Fig. 6 right)
+  kRnicProblem,    // network, RNIC side
+  kSwitchProblem,  // network, switch/link side
+};
+
+const char* anomaly_cause_name(AnomalyCause c);
+
+/// Problem priorities of §2.4 / §4.3.4.
+enum class Priority : std::uint8_t {
+  kP0,     // in service network + service metric degraded: fix NOW
+  kP1,     // in service network, service still healthy: fix on benefit
+  kP2,     // outside the service network
+  kNoise,  // not a real problem (filtered probe noise)
+};
+
+const char* priority_name(Priority p);
+
+enum class ProblemCategory : std::uint8_t {
+  kHostDown,
+  kRnicProblem,
+  kSwitchNetworkProblem,
+  kHighNetworkRtt,       // congestion-flavoured bottleneck
+  kHighProcessingDelay,  // end-host (CPU) bottleneck
+  kQpnResetNoise,
+  kAgentCpuNoise,
+};
+
+const char* problem_category_name(ProblemCategory c);
+
+/// A detected-and-located problem emitted by the Analyzer each period.
+struct Problem {
+  ProblemCategory category{};
+  Priority priority = Priority::kP2;
+  // Location (whichever fields apply):
+  RnicId rnic;
+  HostId host;
+  std::vector<LinkId> suspect_links;      // Algorithm 1 winners
+  std::vector<SwitchId> suspect_switches; // Algorithm 1 (switch granularity)
+  // Top-10 of the Algorithm-1 vote histogram (descending), for operators who
+  // want to compare suspicion across problems (e.g. two tenants fingering
+  // the same congested link while tie-breaks differ).
+  std::vector<std::pair<LinkId, std::size_t>> top_link_votes;
+  // Evidence:
+  std::size_t anomalous_probes = 0;
+  bool in_service_network = false;
+  ServiceId service;           // when attributable to one service
+  bool detected_by_service_tracing = false;
+  std::string summary;
+};
+
+/// Per-period SLA aggregate (cluster-wide or per service network), §5.
+struct SlaReport {
+  std::size_t probes = 0;
+  std::size_t timeouts = 0;
+  double rnic_drop_rate = 0.0;    // timeouts attributed to RNICs / probes
+  double switch_drop_rate = 0.0;  // timeouts attributed to switches / probes
+  // distributions in nanoseconds:
+  double rtt_mean = 0;
+  double rtt_p50 = 0, rtt_p90 = 0, rtt_p99 = 0, rtt_p999 = 0;
+  double proc_p50 = 0, proc_p90 = 0, proc_p99 = 0, proc_p999 = 0;
+};
+
+/// Sink Agents upload probe records to (the Analyzer; over TCP in
+/// production).
+using UploadFn =
+    std::function<void(HostId host, std::vector<struct ProbeRecord> records)>;
+
+/// Everything one 20 s analysis period produced.
+struct PeriodReport {
+  TimeNs period_start = 0;
+  TimeNs period_end = 0;
+  std::vector<Problem> problems;
+  SlaReport cluster_sla;
+  std::vector<std::pair<ServiceId, SlaReport>> service_slas;
+  std::size_t records_processed = 0;
+  // Per-cause anomalous-probe counts (diagnostics).
+  std::size_t timeouts_host_down = 0;
+  std::size_t timeouts_qpn_reset = 0;
+  std::size_t timeouts_agent_cpu = 0;
+  std::size_t timeouts_rnic = 0;
+  std::size_t timeouts_switch = 0;
+};
+
+}  // namespace rpm::core

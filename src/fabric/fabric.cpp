@@ -1,0 +1,397 @@
+#include "fabric/fabric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rpm::fabric {
+
+const char* drop_reason_name(DropReason r) {
+  switch (r) {
+    case DropReason::kNone:
+      return "none";
+    case DropReason::kLinkDown:
+      return "link-down";
+    case DropReason::kBlackhole:
+      return "blackhole";
+    case DropReason::kCorruption:
+      return "corruption";
+    case DropReason::kBufferOverflow:
+      return "buffer-overflow";
+    case DropReason::kAclDeny:
+      return "acl-deny";
+    case DropReason::kPfcDeadlock:
+      return "pfc-deadlock";
+  }
+  return "?";
+}
+
+Fabric::Fabric(const topo::Topology& topo, const routing::EcmpRouter& router,
+               sim::EventScheduler& sched, FabricConfig cfg)
+    : topo_(topo),
+      router_(router),
+      sched_(sched),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      links_(topo.num_links()),
+      acl_(topo.num_switches()),
+      delivery_(topo.num_rnics()),
+      step_task_(sched, cfg.step_interval, [this] { step_once(); }),
+      offered_(topo.num_links(), 0.0),
+      drop_frac_(topo.num_links(), 0.0) {
+  if (cfg_.step_interval <= 0) {
+    throw std::invalid_argument("FabricConfig: step_interval must be > 0");
+  }
+  if (cfg_.ecn_kmin >= cfg_.ecn_kmax || cfg_.ecn_kmax > cfg_.buffer_bytes) {
+    throw std::invalid_argument("FabricConfig: require kmin < kmax <= buffer");
+  }
+}
+
+void Fabric::set_delivery_handler(RnicId rnic, DeliveryFn fn) {
+  delivery_.at(rnic.value) = std::move(fn);
+}
+
+bool Fabric::link_usable(LinkId id) const {
+  return links_[id.value].usable();
+}
+
+TimeNs Fabric::link_queue_delay(LinkId id) const {
+  const LinkState& s = links_[id.value];
+  const double cap = effective_capacity(topo_.link(id), s);
+  if (cap <= 0.0) return 0;
+  return static_cast<TimeNs>(static_cast<double>(s.queue_bytes) / cap * 1e9);
+}
+
+double Fabric::effective_capacity(const topo::Link& l,
+                                  const LinkState& s) const {
+  return l.capacity_Bps * std::max(0.01, s.service_rate_factor);
+}
+
+double Fabric::ecn_mark_prob(const LinkState& s) const {
+  if (s.queue_bytes <= cfg_.ecn_kmin) return 0.0;
+  if (s.queue_bytes >= cfg_.ecn_kmax) return 1.0;
+  const double f =
+      static_cast<double>(s.queue_bytes - cfg_.ecn_kmin) /
+      static_cast<double>(cfg_.ecn_kmax - cfg_.ecn_kmin);
+  return f * cfg_.ecn_pmax;
+}
+
+LinkState& Fabric::link_state(LinkId id) { return links_.at(id.value); }
+const LinkState& Fabric::link_state(LinkId id) const {
+  return links_.at(id.value);
+}
+
+void Fabric::set_cable_up(LinkId any_direction, bool up) {
+  const topo::Link& l = topo_.link(any_direction);
+  links_[l.id.value].admin_up = up;
+  links_[l.peer.value].admin_up = up;
+  bump_topology_epoch();
+}
+
+void Fabric::set_cable_flapping(LinkId any_direction, bool down_phase) {
+  // Deliberately no topology-epoch bump: a flap is faster than routing
+  // convergence, so flows keep their paths and lose packets in place.
+  const topo::Link& l = topo_.link(any_direction);
+  links_[l.id.value].flapping = down_phase;
+  links_[l.peer.value].flapping = down_phase;
+}
+
+void Fabric::add_acl_deny(SwitchId sw, IpAddr src, IpAddr dst) {
+  acl_.at(sw.value).push_back(AclRule{src, dst});
+}
+
+void Fabric::clear_acl(SwitchId sw) { acl_.at(sw.value).clear(); }
+
+bool Fabric::acl_denies(SwitchId sw, const FiveTuple& t) const {
+  for (const AclRule& r : acl_[sw.value]) {
+    const bool src_match = r.src.value == 0 || r.src == t.src_ip;
+    const bool dst_match = r.dst.value == 0 || r.dst == t.dst_ip;
+    if (src_match && dst_match) return true;
+  }
+  return false;
+}
+
+routing::Path Fabric::current_path(RnicId src, RnicId dst,
+                                   const FiveTuple& tuple) const {
+  return router_.resolve(src, dst, tuple,
+                         [this](LinkId l) { return link_usable(l); });
+}
+
+SendOutcome Fabric::send(const Datagram& dgram) {
+  SendOutcome out;
+  out.path = current_path(dgram.src, dgram.dst, dgram.tuple);
+
+  if (!out.path.complete) {
+    // Either the very first hop was down, the last hop was down, or ECMP had
+    // no live candidate mid-path (blackhole).
+    if (out.path.links.empty()) {
+      out.drop = DropReason::kLinkDown;
+      out.drop_link = topo_.rnic(dgram.src).uplink;  // src edge link down
+    } else if (!out.path.switches.empty() &&
+               out.path.switches.back() == topo_.rnic(dgram.dst).tor) {
+      out.drop = DropReason::kLinkDown;
+      out.drop_link = topo_.rnic(dgram.dst).downlink;  // dst edge link down
+    } else {
+      out.drop = DropReason::kBlackhole;
+      out.drop_link = out.path.links.back();
+      if (!out.path.switches.empty()) {
+        out.drop_switch = out.path.switches.back();
+      }
+    }
+    links_[out.drop_link.value].drops_down++;
+    return out;
+  }
+
+  // Packets with protocol 17 ride the lossless RoCE traffic class; anything
+  // else (TCP probes, management traffic) rides a separate lossy queue that
+  // is unaffected by RoCE-queue congestion, PFC pauses, deadlocks, or PFC
+  // headroom misconfiguration. This is why TCP Pingmesh probes cannot detect
+  // RoCE-specific problems (§2.4).
+  const bool roce_class = dgram.tuple.protocol == 17;
+
+  TimeNs latency = 0;
+  for (std::size_t i = 0; i < out.path.links.size(); ++i) {
+    const LinkId lid = out.path.links[i];
+    LinkState& s = links_[lid.value];
+    const topo::Link& l = topo_.link(lid);
+
+    if (s.flapping) {
+      // The port is bouncing: forwarding state still points here, but the
+      // packet is lost on the wire.
+      out.drop = DropReason::kLinkDown;
+      out.drop_link = lid;
+      s.drops_down++;
+      return out;
+    }
+    if (s.deadlocked && roce_class) {
+      out.drop = DropReason::kPfcDeadlock;
+      out.drop_link = lid;
+      s.drops_down++;
+      return out;
+    }
+    if (s.corrupt_prob > 0.0 && rng_.chance(s.corrupt_prob)) {
+      out.drop = DropReason::kCorruption;
+      out.drop_link = lid;
+      s.drops_corrupt++;
+      return out;
+    }
+    if (roce_class && s.overflow_drop_frac > 0.0 &&
+        rng_.chance(s.overflow_drop_frac)) {
+      out.drop = DropReason::kBufferOverflow;
+      out.drop_link = lid;
+      s.drops_overflow++;
+      return out;
+    }
+
+    const double cap = effective_capacity(l, s);
+    const TimeNs serialization =
+        static_cast<TimeNs>(static_cast<double>(dgram.size) / cap * 1e9);
+    latency += l.propagation + serialization;
+    if (roce_class) latency += link_queue_delay(lid);
+
+    // ACL is evaluated at the switch the packet just arrived at.
+    if (i < out.path.switches.size()) {
+      const SwitchId sw = out.path.switches[i];
+      if (!acl_[sw.value].empty() && acl_denies(sw, dgram.tuple)) {
+        out.drop = DropReason::kAclDeny;
+        out.drop_switch = sw;
+        return out;
+      }
+    }
+  }
+
+  out.delivered = true;
+  out.latency = latency;
+  if (DeliveryFn& handler = delivery_[dgram.dst.value]; handler) {
+    // Copy the datagram into the event; the caller's object may not outlive
+    // the flight time.
+    sched_.schedule_after(latency, [handler, dgram] { handler(dgram); });
+  }
+  return out;
+}
+
+FlowId Fabric::add_flow(const FlowSpec& spec) {
+  if (spec.demand_Bps < 0.0) {
+    throw std::invalid_argument("add_flow: negative demand");
+  }
+  Flow f;
+  f.spec = spec;
+  f.live = true;
+  f.cc_slot = next_cc_slot_++;
+  const double line_rate =
+      topo_.link(topo_.rnic(spec.src).uplink).capacity_Bps;
+  f.rate_Bps = spec.controller
+                   ? spec.controller->reset(f.cc_slot, spec.demand_Bps,
+                                            line_rate)
+                   : spec.demand_Bps;
+  resolve_flow_path(f);
+  flows_.push_back(std::move(f));
+  ++live_flows_;
+  return FlowId{static_cast<std::uint32_t>(flows_.size() - 1)};
+}
+
+void Fabric::remove_flow(FlowId id) {
+  Flow& f = flows_.at(id.value);
+  if (f.live) {
+    f.live = false;
+    --live_flows_;
+  }
+}
+
+void Fabric::set_flow_demand(FlowId id, double demand_Bps) {
+  Flow& f = flows_.at(id.value);
+  f.spec.demand_Bps = demand_Bps;
+  if (!f.spec.controller) f.rate_Bps = demand_Bps;
+}
+
+FlowStats Fabric::flow_stats(FlowId id) const {
+  return flows_.at(id.value).stats;
+}
+
+const routing::Path& Fabric::flow_path(FlowId id) const {
+  return flows_.at(id.value).path;
+}
+
+void Fabric::resolve_flow_path(Flow& f) {
+  f.path = current_path(f.spec.src, f.spec.dst, f.spec.tuple);
+  f.path_epoch = topology_epoch_;
+}
+
+void Fabric::start(TimeNs first_delay) { step_task_.start(first_delay); }
+void Fabric::stop() { step_task_.cancel(); }
+
+void Fabric::step_once() {
+  const double ds = to_seconds(cfg_.step_interval);
+
+  // 1. Refresh stale flow paths (topology changed since last resolve).
+  for (Flow& f : flows_) {
+    if (f.live && f.path_epoch != topology_epoch_) resolve_flow_path(f);
+  }
+
+  // 2. Offered load per link.
+  std::fill(offered_.begin(), offered_.end(), 0.0);
+  for (const Flow& f : flows_) {
+    if (!f.live || !f.path.complete) continue;
+    for (LinkId l : f.path.links) offered_[l.value] += f.rate_Bps;
+  }
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    offered_[i] += links_[i].extra_load_Bps;
+  }
+
+  // 3. Queue integration, ECN, PFC/overflow per link.
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    LinkState& s = links_[i];
+    const topo::Link& l = topo_.link(LinkId{static_cast<std::uint32_t>(i)});
+    const double cap = effective_capacity(l, s);
+    if (!s.usable() || s.flapping || s.deadlocked) {
+      // No service; queue frozen (a PFC deadlock holds buffers hostage, and
+      // a flapping/down port transfers nothing).
+      drop_frac_[i] = 0.0;
+      continue;
+    }
+    const double dq = (offered_[i] - cap) * ds;
+    double q = static_cast<double>(s.queue_bytes) + dq;
+    if (q < 0.0) q = 0.0;
+
+    s.overflow_drop_frac = 0.0;
+    s.pfc_paused = false;
+    if (q > static_cast<double>(cfg_.buffer_bytes)) {
+      const double excess = q - static_cast<double>(cfg_.buffer_bytes);
+      q = static_cast<double>(cfg_.buffer_bytes);
+      if (s.pfc_enabled && !s.pfc_misconfigured) {
+        // Lossless: push the excess back into upstream egress queues. This
+        // is how congestion trees and PFC storms spread hop by hop.
+        s.pfc_paused = true;
+        ++s.pfc_pause_events;
+        const topo::NodeRef upstream_node = l.from;
+        if (upstream_node.is_switch()) {
+          double feeding_total = 0.0;
+          for (LinkId in : topo_.out_links(upstream_node)) {
+            // in-links of `upstream_node` are peers of its out-links
+            const LinkId in_id = topo_.link(in).peer;
+            feeding_total += offered_[in_id.value];
+          }
+          if (feeding_total > 0.0) {
+            for (LinkId out : topo_.out_links(upstream_node)) {
+              const LinkId in_id = topo_.link(out).peer;
+              const double share = offered_[in_id.value] / feeding_total;
+              links_[in_id.value].queue_bytes +=
+                  static_cast<Bytes>(excess * share);
+            }
+          }
+        }
+      } else {
+        // Lossy queue (PFC off or headroom misconfigured): tail drop.
+        const double offered_bytes = offered_[i] * ds;
+        s.overflow_drop_frac =
+            offered_bytes > 0.0 ? std::min(1.0, excess / offered_bytes) : 0.0;
+        ++s.drops_overflow;
+      }
+    } else if (s.queue_bytes > static_cast<Bytes>(
+                   cfg_.pfc_threshold_frac *
+                   static_cast<double>(cfg_.buffer_bytes)) &&
+               s.pfc_enabled && !s.pfc_misconfigured) {
+      s.pfc_paused = true;
+    }
+    s.queue_bytes = static_cast<Bytes>(q);
+    drop_frac_[i] = s.overflow_drop_frac;
+  }
+
+  // 4. Per-flow achieved rate, loss, queue delay; CC update.
+  for (Flow& f : flows_) {
+    if (!f.live) continue;
+    FlowStats st;
+    st.offered_Bps = f.rate_Bps;
+    if (!f.path.complete) {
+      st.loss_rate = 1.0;
+      st.achieved_Bps = 0.0;
+      f.stats = st;
+      continue;
+    }
+    double factor = 1.0;
+    double survive = 1.0;
+    double ecn_survive = 1.0;
+    TimeNs qdelay = 0;
+    double bottleneck_cap = 0.0;
+    bool blocked = false;
+    for (LinkId lid : f.path.links) {
+      const LinkState& s = links_[lid.value];
+      const topo::Link& l = topo_.link(lid);
+      if (!s.usable() || s.flapping || s.deadlocked) {
+        blocked = true;
+        break;
+      }
+      const double cap = effective_capacity(l, s);
+      if (bottleneck_cap == 0.0 || cap < bottleneck_cap) bottleneck_cap = cap;
+      const double arrival = offered_[lid.value];
+      if (arrival > cap) factor = std::min(factor, cap / arrival);
+      survive *= (1.0 - std::min(1.0, s.corrupt_prob + drop_frac_[lid.value]));
+      ecn_survive *= (1.0 - ecn_mark_prob(s));
+      qdelay += link_queue_delay(lid);
+    }
+    if (blocked) {
+      st.loss_rate = 1.0;
+      st.achieved_Bps = 0.0;
+    } else {
+      st.loss_rate = 1.0 - survive;
+      st.achieved_Bps = f.rate_Bps * factor * survive;
+      st.queue_delay = qdelay;
+    }
+    f.stats = st;
+
+    if (f.spec.controller && !blocked) {
+      CcFeedback fb;
+      fb.ecn_fraction = 1.0 - ecn_survive;
+      fb.queue_delay = qdelay;
+      fb.base_rtt = 2 * f.path.propagation_total(topo_);
+      fb.achieved_Bps = st.achieved_Bps;
+      fb.bottleneck_capacity_Bps = bottleneck_cap;
+      fb.dt = cfg_.step_interval;
+      f.rate_Bps = std::clamp(
+          f.spec.controller->update(f.cc_slot, fb, f.rate_Bps), 0.0,
+          f.spec.demand_Bps);
+    }
+  }
+}
+
+}  // namespace rpm::fabric

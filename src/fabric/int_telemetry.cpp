@@ -1,0 +1,22 @@
+#include "fabric/int_telemetry.h"
+
+namespace rpm::fabric {
+
+IntTraceResult IntTelemetry::trace(RnicId src, RnicId dst,
+                                   const FiveTuple& tuple) const {
+  IntTraceResult r;
+  r.path = fabric_.current_path(src, dst, tuple);
+  r.complete = r.path.complete;
+  r.hops.reserve(r.path.links.size());
+  for (std::size_t i = 0; i < r.path.links.size(); ++i) {
+    IntHop hop;
+    hop.link = r.path.links[i];
+    if (i < r.path.switches.size()) hop.sw = r.path.switches[i];
+    hop.queue_bytes = fabric_.link_state(hop.link).queue_bytes;
+    hop.queue_delay = fabric_.link_queue_delay(hop.link);
+    r.hops.push_back(hop);
+  }
+  return r;
+}
+
+}  // namespace rpm::fabric

@@ -1,0 +1,129 @@
+// Fault injection covering the paper's entire problem catalogue (Table 2)
+// plus the two probe-noise sources the Analyzer must filter (§4.3.1 QPN
+// reset, Figure 6 right Agent-CPU occupation).
+//
+// Every injection returns a handle and records ground truth (kind + the
+// faulted entity) so benches can score R-Pingmesh's localization accuracy
+// against what was actually injected (Figure 6 left).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "host/cluster.h"
+#include "sim/scheduler.h"
+
+namespace rpm::faults {
+
+/// The root causes of Table 2 (numbered as in the paper) plus probe noise.
+enum class FaultKind : std::uint8_t {
+  kRnicFlapping = 1,        // #1 (RNIC side)
+  kSwitchPortFlapping,      // #1 (switch side)
+  kPacketCorruption,        // #2 damaged fiber / dusty module
+  kRnicDown,                // #3
+  kHostDown,                // #4
+  kPfcDeadlock,             // #5
+  kRnicRouteMissing,        // #6
+  kRnicGidIndexMissing,     // #7
+  kSwitchAclError,          // #8
+  kPfcMisconfigured,        // #9 headroom wrong -> drops under congestion
+  kUnevenLoadBalance,       // #10 (emerges from traffic; helper provided)
+  kServiceInterference,     // #11 (emerges from traffic; helper provided)
+  kCpuOverload,             // #12
+  kPcieDowngrade,           // #13/#14 -> PFC storm precursor
+  kAgentCpuOccupation,      // Fig. 6 right: probe noise, not a real fault
+  kQpnReset,                // §4.3.1: probe noise after Agent restart
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// Whether this root cause is a *network* problem (RNIC or switch side) as
+/// opposed to host-side or pure probe noise — the distinction the Analyzer
+/// must recover (§4.3.1-§4.3.2).
+bool is_network_fault(FaultKind k);
+/// Whether the network-side fault is attributable to an RNIC (vs switch).
+bool is_rnic_fault(FaultKind k);
+
+/// Ground truth about an active fault.
+struct FaultRecord {
+  int handle = 0;
+  FaultKind kind{};
+  RnicId rnic;      // valid for RNIC-side faults
+  HostId host;      // valid for host-side faults
+  LinkId link;      // valid for link/switch-port faults (either direction)
+  SwitchId sw;      // valid for switch faults
+  bool active = false;
+  std::string describe(const topo::Topology& topo) const;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(host::Cluster& cluster);
+
+  // ---- Table 2 root causes ----
+
+  /// #1: the RNIC's port bounces with the given duty cycle.
+  int inject_rnic_flapping(RnicId rnic, TimeNs down_time, TimeNs up_time);
+  /// #1: a fabric switch port bounces.
+  int inject_switch_port_flapping(LinkId link, TimeNs down_time,
+                                  TimeNs up_time);
+  /// #2: per-packet corruption drops on a cable (both directions).
+  int inject_corruption(LinkId link, double drop_prob);
+  /// #3.
+  int inject_rnic_down(RnicId rnic);
+  /// #4: host powers off; all of its RNICs go silent too.
+  int inject_host_down(HostId host);
+  /// #5: the two directions of a cable pause each other forever.
+  int inject_pfc_deadlock(LinkId link);
+  /// #6.
+  int inject_route_missing(RnicId rnic);
+  /// #7.
+  int inject_gid_index_missing(RnicId rnic);
+  /// #8: switch ACL denies (src, dst); zero IpAddr = wildcard.
+  int inject_acl_error(SwitchId sw, IpAddr src, IpAddr dst);
+  /// #9: PFC headroom misconfigured on a link: congestion drops packets.
+  int inject_pfc_misconfigured(LinkId link);
+  /// #12.
+  int inject_cpu_overload(HostId host, double load = 0.97);
+  /// #13/#14: PCIe downgraded to `factor` of nominal bandwidth.
+  int inject_pcie_downgrade(RnicId rnic, double factor = 0.25);
+
+  // ---- probe-noise sources ----
+
+  /// Fig. 6 right: the service pegs every core; the Agent starves.
+  int inject_agent_cpu_occupation(HostId host);
+  /// §4.3.1: the Agent process on `host` restarts, so every Agent QP on the
+  /// host's RNICs is recreated with fresh QPNs. Callers (the Agent harness)
+  /// observe this via the returned record; the injector only flags it.
+  int inject_qpn_reset(HostId host);
+
+  // ---- lifecycle ----
+
+  /// Revert a fault. Safe to call twice.
+  void clear(int handle);
+  void clear_all();
+
+  [[nodiscard]] const FaultRecord& record(int handle) const;
+  [[nodiscard]] std::vector<FaultRecord> active_faults() const;
+
+ private:
+  struct Active {
+    FaultRecord rec;
+    std::unique_ptr<sim::PeriodicTask> flapper;
+    std::function<void()> revert;
+  };
+
+  int register_fault(FaultRecord rec, std::function<void()> revert,
+                     std::unique_ptr<sim::PeriodicTask> flapper = nullptr);
+
+  host::Cluster& cluster_;
+  int next_handle_ = 1;
+  std::unordered_map<int, Active> active_;
+};
+
+}  // namespace rpm::faults

@@ -1,0 +1,33 @@
+#include "host/cluster.h"
+
+namespace rpm::host {
+
+Cluster::Cluster(topo::Topology topology, ClusterConfig cfg)
+    : topo_(std::move(topology)),
+      router_(topo_, cfg.seed ^ 0xEC3Cull),
+      fabric_(topo_, router_, sched_, cfg.fabric),
+      tracer_(router_, cfg.traceroute_responses_per_sec),
+      int_(fabric_),
+      rng_(cfg.seed) {
+  hosts_.reserve(topo_.num_hosts());
+  for (const topo::HostInfo& h : topo_.hosts()) {
+    hosts_.push_back(std::make_unique<HostModel>(
+        h.id, sched_, sim::DeviceClock::random(rng_), rng_.fork(), cfg.host));
+  }
+  rnics_.reserve(topo_.num_rnics());
+  for (const topo::RnicInfo& r : topo_.rnics()) {
+    rnics_.push_back(std::make_unique<rnic::RnicDevice>(
+        r.id, fabric_, sched_, sim::DeviceClock::random(rng_), rng_.fork(),
+        cfg.rnic));
+  }
+}
+
+void Cluster::run_for(TimeNs duration) {
+  if (!started_) {
+    fabric_.start();
+    started_ = true;
+  }
+  sched_.run_until(sched_.now() + duration);
+}
+
+}  // namespace rpm::host

@@ -1,0 +1,45 @@
+#include "host/host.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rpm::host {
+
+HostModel::HostModel(HostId id, sim::EventScheduler& sched,
+                     sim::DeviceClock clock, Rng rng, HostParams params)
+    : id_(id), sched_(sched), clock_(clock), rng_(rng), params_(params) {}
+
+void HostModel::set_cpu_load(double load) {
+  if (load < 0.0 || load > 1.0) {
+    throw std::invalid_argument("set_cpu_load: load must be in [0, 1]");
+  }
+  cpu_load_ = load;
+}
+
+TimeNs HostModel::sample_process_delay() {
+  // Queueing-flavoured growth: mean delay scales like 1/(1-load), with an
+  // extra heavy tail once the host is overloaded and a probe-timeout-scale
+  // stall when the service starves the Agent of CPU entirely.
+  const double load = std::min(cpu_load_, 0.995);
+  const double mean =
+      static_cast<double>(params_.base_process_delay) / (1.0 - load);
+  TimeNs d = static_cast<TimeNs>(rng_.exponential(mean));
+
+  if (cpu_load_ >= params_.overload_threshold) {
+    const double sev =
+        (cpu_load_ - params_.overload_threshold) /
+        std::max(1e-9, 1.0 - params_.overload_threshold);
+    d += static_cast<TimeNs>(
+        rng_.exponential(static_cast<double>(params_.overload_tail) * sev));
+  }
+  if (cpu_load_ >= params_.starve_threshold &&
+      rng_.chance(params_.starve_prob)) {
+    d += static_cast<TimeNs>(rng_.uniform(
+        0.3 * static_cast<double>(params_.starve_tail),
+        1.7 * static_cast<double>(params_.starve_tail)));
+  }
+  return d;
+}
+
+}  // namespace rpm::host

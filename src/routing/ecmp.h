@@ -1,0 +1,108 @@
+// ECMP routing over a Topology.
+//
+// Routing is next-hop based, like real Clos fabrics: each switch hashes the
+// outer 5-tuple with a per-switch seed and picks among the out-links that lie
+// on a shortest path toward the destination ToR. Candidate sets are
+// precomputed by BFS from every ToR, which keeps resolve() O(path length) and
+// makes the router topology-agnostic (it works for both the 3-tier Clos and
+// the rail-optimized fabric).
+//
+// Link failures: resolve() accepts a link-up predicate. Down candidates are
+// filtered out *before* hashing, so a failure re-hashes flows onto the
+// surviving links — exactly the behaviour that makes post-failure Traceroute
+// misleading (§4.2.3), which R-Pingmesh counters with continuous path
+// tracing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/five_tuple.h"
+#include "common/types.h"
+#include "topo/topology.h"
+
+namespace rpm::routing {
+
+/// Predicate deciding whether a directed link is currently usable.
+using LinkUpFn = std::function<bool(LinkId)>;
+
+/// A resolved forwarding path. `links` and `switches` are in traversal
+/// order; `complete` is false when the packet was blackholed (all candidate
+/// next-hops down), in which case the vectors hold the prefix traversed.
+struct Path {
+  std::vector<LinkId> links;
+  std::vector<SwitchId> switches;
+  bool complete = false;
+
+  [[nodiscard]] TimeNs propagation_total(const topo::Topology& topo) const;
+};
+
+class EcmpRouter {
+ public:
+  /// `seed` perturbs every switch's hash function (deterministic per seed).
+  EcmpRouter(const topo::Topology& topo, std::uint64_t seed = 0x5eed);
+
+  /// Resolve the path a packet with `tuple` takes from `src` to `dst`.
+  /// `link_up` may be empty (everything up).
+  [[nodiscard]] Path resolve(RnicId src, RnicId dst, const FiveTuple& tuple,
+                             const LinkUpFn& link_up = {}) const;
+
+  /// ECMP candidates at `sw` toward the ToR of `dst_tor` (pre-failure, i.e.
+  /// unfiltered). Exposed for tests and for Equation-1 coverage counting.
+  [[nodiscard]] const std::vector<LinkId>& candidates(SwitchId sw,
+                                                      SwitchId dst_tor) const;
+
+  /// The index the switch would pick among n candidates for this tuple.
+  [[nodiscard]] std::size_t pick(SwitchId sw, const FiveTuple& tuple,
+                                 std::size_t n) const;
+
+  [[nodiscard]] const topo::Topology& topology() const { return topo_; }
+
+ private:
+  void build_tables();
+
+  const topo::Topology& topo_;
+  std::uint64_t seed_;
+  // candidates_[tor_ordinal][switch_id] = out-links on shortest paths.
+  std::vector<std::vector<std::vector<LinkId>>> candidates_;
+  std::vector<std::size_t> tor_ordinal_;  // switch id -> ordinal among ToRs
+};
+
+/// Traceroute facade with per-switch response rate limiting, mimicking the
+/// switch-CPU constraint of §4.2.3. A trace re-resolves the *current* path
+/// (post-failure rehash included). Switches whose per-second budget is
+/// exhausted do not answer: their hop is recorded as unknown.
+class TracerouteService {
+ public:
+  struct Hop {
+    SwitchId sw;        // invalid if the switch did not respond
+    LinkId ingress;     // link whose `to` is this switch (invalid if unknown)
+    bool responded = false;
+  };
+  struct Result {
+    std::vector<Hop> hops;
+    Path path;  // the underlying resolved path (ground truth for the sim)
+    bool all_responded = false;
+  };
+
+  TracerouteService(const EcmpRouter& router, double max_responses_per_sec);
+
+  /// Run one trace at simulated time `now`.
+  Result trace(RnicId src, RnicId dst, const FiveTuple& tuple, TimeNs now,
+               const LinkUpFn& link_up = {});
+
+ private:
+  bool consume_token(SwitchId sw, TimeNs now);
+
+  const EcmpRouter& router_;
+  double rate_;
+  struct Bucket {
+    double tokens = 0.0;
+    TimeNs last = 0;
+  };
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace rpm::routing

@@ -1,0 +1,50 @@
+// Free-running device clocks.
+//
+// Real RNICs and hosts each have their own oscillator: readings from two
+// different devices are not comparable without synchronization. R-Pingmesh's
+// central measurement trick (§4.2.1) is that every delay it reports is a
+// difference of two readings taken on the *same* clock, so offsets cancel and
+// drift is negligible over the sub-millisecond spans involved.
+//
+// The simulator gives every RNIC and host a DeviceClock with a random offset
+// (up to seconds) and drift (tens of ppm) so that any accidental cross-clock
+// arithmetic in the Agent would show up as wildly wrong RTTs in tests.
+#pragma once
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace rpm::sim {
+
+class DeviceClock {
+ public:
+  DeviceClock() = default;
+
+  /// `offset`: reading at simulated time 0. `drift_ppm`: parts-per-million
+  /// frequency error (positive runs fast).
+  DeviceClock(TimeNs offset, double drift_ppm)
+      : offset_(offset), drift_ppm_(drift_ppm) {}
+
+  /// Construct with random offset in ±1 s and drift in ±50 ppm.
+  static DeviceClock random(Rng& rng) {
+    return DeviceClock(rng.uniform_int(-1'000'000'000, 1'000'000'000),
+                       rng.uniform(-50.0, 50.0));
+  }
+
+  /// Clock reading at simulated time `sim_now`.
+  [[nodiscard]] TimeNs read(TimeNs sim_now) const {
+    const double skew = static_cast<double>(sim_now) * drift_ppm_ * 1e-6;
+    return offset_ + sim_now + static_cast<TimeNs>(std::llround(skew));
+  }
+
+  [[nodiscard]] TimeNs offset() const { return offset_; }
+  [[nodiscard]] double drift_ppm() const { return drift_ppm_; }
+
+ private:
+  TimeNs offset_ = 0;
+  double drift_ppm_ = 0.0;
+};
+
+}  // namespace rpm::sim

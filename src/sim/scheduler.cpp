@@ -1,0 +1,95 @@
+#include "sim/scheduler.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rpm::sim {
+
+void EventScheduler::schedule_at(TimeNs t, EventFn fn) {
+  if (!fn) throw std::invalid_argument("schedule_at: empty callback");
+  if (t < now_) t = now_;
+  queue_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+void EventScheduler::schedule_after(TimeNs delay, EventFn fn) {
+  schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+}
+
+void EventScheduler::execute(Entry& e) {
+  now_ = e.time;
+  ++executed_;
+  // Move the callback out before invoking: it may schedule more events,
+  // which mutates the queue.
+  EventFn fn = std::move(e.fn);
+  fn();
+}
+
+void EventScheduler::run_until(TimeNs t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    // priority_queue::top() is const; the Entry must be moved out to pop
+    // before running so re-entrant scheduling is safe.
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    execute(e);
+  }
+  if (t_end > now_) now_ = t_end;
+}
+
+void EventScheduler::run_all() {
+  while (step()) {
+  }
+}
+
+bool EventScheduler::step() {
+  if (queue_.empty()) return false;
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  execute(e);
+  return true;
+}
+
+PeriodicTask::PeriodicTask(EventScheduler& sched, TimeNs period, EventFn fn)
+    : sched_(sched),
+      state_(std::make_shared<State>(State{period, std::move(fn), false, 0})) {
+  if (state_->period <= 0) {
+    throw std::invalid_argument("PeriodicTask: period <= 0");
+  }
+  if (!state_->fn) throw std::invalid_argument("PeriodicTask: empty callback");
+}
+
+PeriodicTask::~PeriodicTask() { cancel(); }
+
+// Self-rescheduling event bound to a generation; holds the state alive by
+// shared_ptr so a destroyed PeriodicTask never dangles.
+EventFn PeriodicTask::make_fire(std::shared_ptr<State> st,
+                                EventScheduler* sched, std::uint64_t gen) {
+  return [st, sched, gen] {
+    if (!st->running || gen != st->generation) return;
+    st->fn();
+    if (!st->running || gen != st->generation) return;
+    sched->schedule_after(st->period, make_fire(st, sched, gen));
+  };
+}
+
+void PeriodicTask::start(TimeNs first_delay) {
+  if (state_->running) return;
+  state_->running = true;
+  const std::uint64_t gen = ++state_->generation;
+  sched_.schedule_after(first_delay, make_fire(state_, &sched_, gen));
+}
+
+void PeriodicTask::cancel() {
+  state_->running = false;
+  ++state_->generation;
+}
+
+void PeriodicTask::set_period(TimeNs period) {
+  if (period <= 0) throw std::invalid_argument("set_period: period <= 0");
+  state_->period = period;
+}
+
+TimeNs PeriodicTask::period() const { return state_->period; }
+
+bool PeriodicTask::running() const { return state_->running; }
+
+}  // namespace rpm::sim

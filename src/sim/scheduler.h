@@ -1,0 +1,106 @@
+// Discrete-event simulation core.
+//
+// A single EventScheduler owns simulated time. Components schedule callbacks
+// at absolute times or after delays; `run_until` drains events in timestamp
+// order. Ties are broken by insertion order so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rpm::sim {
+
+/// Event callback. Captures whatever state it needs; executed exactly once.
+using EventFn = std::function<void()>;
+
+class EventScheduler {
+ public:
+  EventScheduler() = default;
+  EventScheduler(const EventScheduler&) = delete;
+  EventScheduler& operator=(const EventScheduler&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] TimeNs now() const { return now_; }
+
+  /// Schedule `fn` at absolute simulated time `t` (clamped to now()).
+  void schedule_at(TimeNs t, EventFn fn);
+
+  /// Schedule `fn` `delay` nanoseconds from now (delay < 0 is clamped to 0).
+  void schedule_after(TimeNs delay, EventFn fn);
+
+  /// Run events until simulated time would exceed `t_end`; afterwards
+  /// now() == t_end. Events scheduled exactly at t_end are executed.
+  void run_until(TimeNs t_end);
+
+  /// Run until the event queue is empty (use with care: self-rescheduling
+  /// periodic events make this unbounded).
+  void run_all();
+
+  /// Execute at most one pending event; returns false if the queue is empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Total events executed so far (for overhead accounting).
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimeNs time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void execute(Entry& e);
+
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+/// Repeatedly invokes a callback with a fixed period until cancelled.
+/// The callback may adjust the period for the next firing via set_period().
+/// Safe to destroy while a firing is still queued: the scheduled closure
+/// shares ownership of the task state and checks a generation counter.
+class PeriodicTask {
+ public:
+  PeriodicTask(EventScheduler& sched, TimeNs period, EventFn fn);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start(TimeNs first_delay = 0);
+  void cancel();
+  [[nodiscard]] bool running() const;
+
+  void set_period(TimeNs period);
+  [[nodiscard]] TimeNs period() const;
+
+ private:
+  struct State {
+    TimeNs period;
+    EventFn fn;
+    bool running;
+    std::uint64_t generation;  // invalidates in-flight events on cancel
+  };
+
+  static EventFn make_fire(std::shared_ptr<State> st, EventScheduler* sched,
+                           std::uint64_t gen);
+
+  EventScheduler& sched_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace rpm::sim

@@ -1,0 +1,245 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rpm::topo {
+
+const char* tier_name(SwitchTier tier) {
+  switch (tier) {
+    case SwitchTier::kTor:
+      return "tor";
+    case SwitchTier::kAgg:
+      return "agg";
+    case SwitchTier::kSpine:
+      return "spine";
+    case SwitchTier::kRail:
+      return "rail";
+  }
+  return "?";
+}
+
+HostId Topology::add_host() {
+  const HostId id{static_cast<std::uint32_t>(hosts_.size())};
+  hosts_.push_back(HostInfo{id, {}, "host-" + std::to_string(id.value)});
+  host_out_.emplace_back();
+  return id;
+}
+
+SwitchId Topology::add_switch(SwitchTier tier, std::uint32_t pod,
+                              std::uint32_t plane, std::string name) {
+  const SwitchId id{static_cast<std::uint32_t>(switches_.size())};
+  switches_.push_back(SwitchInfo{id, tier, pod, plane, std::move(name)});
+  switch_out_.emplace_back();
+  tor_rnics_.emplace_back();
+  if (tier == SwitchTier::kTor || tier == SwitchTier::kRail) {
+    tors_.push_back(id);
+  }
+  return id;
+}
+
+RnicId Topology::add_rnic(HostId host, SwitchId tor, const LinkSpec& spec) {
+  if (host.value >= hosts_.size()) throw std::out_of_range("add_rnic: host");
+  if (tor.value >= switches_.size()) throw std::out_of_range("add_rnic: tor");
+  const RnicId id{static_cast<std::uint32_t>(rnics_.size())};
+  const auto index_in_host =
+      static_cast<std::uint32_t>(hosts_[host.value].rnics.size());
+  // 10.x.y.z style address derived from the RNIC index; unique per RNIC.
+  const IpAddr ip{0x0A000000u + id.value + 1};
+
+  const LinkId up = add_cable(NodeRef::host(host), NodeRef::sw(tor), spec);
+  const LinkId down = links_[up.value].peer;
+
+  RnicInfo info;
+  info.id = id;
+  info.host = host;
+  info.index_in_host = index_in_host;
+  info.ip = ip;
+  info.tor = tor;
+  info.uplink = up;
+  info.downlink = down;
+  info.name = "rnic-" + std::to_string(host.value) + "-" +
+              std::to_string(index_in_host);
+  rnics_.push_back(std::move(info));
+  hosts_[host.value].rnics.push_back(id);
+  tor_rnics_[tor.value].push_back(id);
+  return id;
+}
+
+LinkId Topology::add_cable(NodeRef a, NodeRef b, const LinkSpec& spec) {
+  const auto mk = [&](NodeRef from, NodeRef to) {
+    const LinkId id{static_cast<std::uint32_t>(links_.size())};
+    Link l;
+    l.id = id;
+    l.from = from;
+    l.to = to;
+    l.capacity_Bps = gbps_to_Bps(spec.capacity_gbps);
+    l.propagation = spec.propagation;
+    links_.push_back(std::move(l));
+    return id;
+  };
+  const LinkId ab = mk(a, b);
+  const LinkId ba = mk(b, a);
+  links_[ab.value].peer = ba;
+  links_[ba.value].peer = ab;
+  links_[ab.value].name = link_name(ab);
+  links_[ba.value].name = link_name(ba);
+
+  auto& out_a = (a.is_host() ? host_out_[a.index] : switch_out_[a.index]);
+  auto& out_b = (b.is_host() ? host_out_[b.index] : switch_out_[b.index]);
+  out_a.push_back(ab);
+  out_b.push_back(ba);
+  std::sort(out_a.begin(), out_a.end());
+  std::sort(out_b.begin(), out_b.end());
+  return ab;
+}
+
+const HostInfo& Topology::host(HostId id) const {
+  if (id.value >= hosts_.size()) throw std::out_of_range("host id");
+  return hosts_[id.value];
+}
+
+const RnicInfo& Topology::rnic(RnicId id) const {
+  if (id.value >= rnics_.size()) throw std::out_of_range("rnic id");
+  return rnics_[id.value];
+}
+
+const SwitchInfo& Topology::switch_info(SwitchId id) const {
+  if (id.value >= switches_.size()) throw std::out_of_range("switch id");
+  return switches_[id.value];
+}
+
+const Link& Topology::link(LinkId id) const {
+  if (id.value >= links_.size()) throw std::out_of_range("link id");
+  return links_[id.value];
+}
+
+const std::vector<LinkId>& Topology::out_links(NodeRef n) const {
+  if (n.is_host()) {
+    if (n.index >= host_out_.size()) throw std::out_of_range("out_links host");
+    return host_out_[n.index];
+  }
+  if (n.index >= switch_out_.size()) {
+    throw std::out_of_range("out_links switch");
+  }
+  return switch_out_[n.index];
+}
+
+const std::vector<RnicId>& Topology::rnics_under_tor(SwitchId tor) const {
+  if (tor.value >= tor_rnics_.size()) throw std::out_of_range("tor id");
+  return tor_rnics_[tor.value];
+}
+
+RnicId Topology::rnic_by_ip(IpAddr ip) const {
+  const std::uint32_t idx = ip.value - 0x0A000000u - 1;
+  if (idx >= rnics_.size()) throw std::out_of_range("rnic_by_ip: unknown ip");
+  return RnicId{idx};
+}
+
+std::string Topology::link_name(LinkId id) const {
+  const Link& l = link(id);
+  const auto node_name = [&](NodeRef n) -> std::string {
+    if (n.is_host()) return hosts_[n.index].name;
+    return switches_[n.index].name;
+  };
+  return node_name(l.from) + "->" + node_name(l.to);
+}
+
+Topology build_clos(const ClosConfig& cfg) {
+  if (cfg.num_pods == 0 || cfg.tors_per_pod == 0 || cfg.aggs_per_pod == 0 ||
+      cfg.spines_per_plane == 0 || cfg.hosts_per_tor == 0 ||
+      cfg.rnics_per_host == 0) {
+    throw std::invalid_argument("build_clos: all dimensions must be > 0");
+  }
+  Topology t;
+
+  // Switches. Spine plane p serves agg index p of every pod.
+  std::vector<std::vector<SwitchId>> tors(cfg.num_pods);
+  std::vector<std::vector<SwitchId>> aggs(cfg.num_pods);
+  std::vector<std::vector<SwitchId>> spines(cfg.aggs_per_pod);
+  for (std::uint32_t p = 0; p < cfg.num_pods; ++p) {
+    for (std::uint32_t i = 0; i < cfg.tors_per_pod; ++i) {
+      std::ostringstream name;
+      name << "tor-" << p << '/' << i;
+      tors[p].push_back(t.add_switch(SwitchTier::kTor, p, 0, name.str()));
+    }
+    for (std::uint32_t i = 0; i < cfg.aggs_per_pod; ++i) {
+      std::ostringstream name;
+      name << "agg-" << p << '/' << i;
+      aggs[p].push_back(t.add_switch(SwitchTier::kAgg, p, i, name.str()));
+    }
+  }
+  for (std::uint32_t plane = 0; plane < cfg.aggs_per_pod; ++plane) {
+    for (std::uint32_t s = 0; s < cfg.spines_per_plane; ++s) {
+      std::ostringstream name;
+      name << "spine-" << plane << '/' << s;
+      spines[plane].push_back(
+          t.add_switch(SwitchTier::kSpine, 0, plane, name.str()));
+    }
+  }
+
+  // Fabric cables: every ToR to every agg of its pod; agg of plane p to all
+  // spines of plane p.
+  for (std::uint32_t p = 0; p < cfg.num_pods; ++p) {
+    for (SwitchId tor : tors[p]) {
+      for (SwitchId agg : aggs[p]) {
+        t.add_cable(NodeRef::sw(tor), NodeRef::sw(agg), cfg.fabric_link);
+      }
+    }
+    for (std::uint32_t plane = 0; plane < cfg.aggs_per_pod; ++plane) {
+      for (SwitchId spine : spines[plane]) {
+        t.add_cable(NodeRef::sw(aggs[p][plane]), NodeRef::sw(spine),
+                    cfg.fabric_link);
+      }
+    }
+  }
+
+  // Hosts: all RNICs of a host attach to the same ToR.
+  for (std::uint32_t p = 0; p < cfg.num_pods; ++p) {
+    for (SwitchId tor : tors[p]) {
+      for (std::uint32_t h = 0; h < cfg.hosts_per_tor; ++h) {
+        const HostId host = t.add_host();
+        for (std::uint32_t r = 0; r < cfg.rnics_per_host; ++r) {
+          t.add_rnic(host, tor, cfg.host_link);
+        }
+      }
+    }
+  }
+  return t;
+}
+
+Topology build_rail_optimized(const RailConfig& cfg) {
+  if (cfg.num_hosts == 0 || cfg.rails == 0 || cfg.num_spines == 0) {
+    throw std::invalid_argument("build_rail_optimized: dimensions must be > 0");
+  }
+  Topology t;
+  std::vector<SwitchId> rails;
+  std::vector<SwitchId> spines;
+  for (std::uint32_t r = 0; r < cfg.rails; ++r) {
+    rails.push_back(
+        t.add_switch(SwitchTier::kRail, 0, r, "rail-" + std::to_string(r)));
+  }
+  for (std::uint32_t s = 0; s < cfg.num_spines; ++s) {
+    spines.push_back(
+        t.add_switch(SwitchTier::kSpine, 0, s, "spine-" + std::to_string(s)));
+  }
+  for (SwitchId rail : rails) {
+    for (SwitchId spine : spines) {
+      t.add_cable(NodeRef::sw(rail), NodeRef::sw(spine), cfg.fabric_link);
+    }
+  }
+  for (std::uint32_t h = 0; h < cfg.num_hosts; ++h) {
+    const HostId host = t.add_host();
+    for (std::uint32_t r = 0; r < cfg.rails; ++r) {
+      t.add_rnic(host, rails[r], cfg.host_link);
+    }
+  }
+  return t;
+}
+
+std::uint32_t clos_parallel_paths(const ClosConfig& cfg, bool cross_pod) {
+  return cross_pod ? cfg.aggs_per_pod * cfg.spines_per_plane
+                   : cfg.aggs_per_pod;
+}
+
+}  // namespace rpm::topo

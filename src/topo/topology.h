@@ -1,0 +1,184 @@
+// Data-center topology graph: hosts, RNICs, switches, directed links.
+//
+// Links are *directed*: one physical cable is two Link records (one per
+// direction) because queues, PFC pause state, and Algorithm-1 votes are all
+// per-direction. `Link::peer` gives the opposite direction.
+//
+// Two builders are provided:
+//  * build_clos()  — the paper's evaluation fabric: 3-tier CLOS, every RNIC
+//    of a host attached to the same ToR, 1:1 oversubscription (§6).
+//  * build_rail_optimized() — the 2-tier rail-optimized fabric of Figure 12:
+//    RNIC i of every host attaches to rail switch i, rails fully meshed to
+//    spines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/five_tuple.h"
+#include "common/types.h"
+
+namespace rpm::topo {
+
+enum class SwitchTier : std::uint8_t { kTor, kAgg, kSpine, kRail };
+
+const char* tier_name(SwitchTier tier);
+
+/// Either a host or a switch; links connect NodeRefs.
+struct NodeRef {
+  enum class Kind : std::uint8_t { kNone, kHost, kSwitch } kind = Kind::kNone;
+  std::uint32_t index = 0;
+
+  static NodeRef host(HostId h) { return {Kind::kHost, h.value}; }
+  static NodeRef sw(SwitchId s) { return {Kind::kSwitch, s.value}; }
+
+  [[nodiscard]] bool is_host() const { return kind == Kind::kHost; }
+  [[nodiscard]] bool is_switch() const { return kind == Kind::kSwitch; }
+  [[nodiscard]] HostId as_host() const {
+    if (!is_host()) throw std::logic_error("NodeRef: not a host");
+    return HostId{index};
+  }
+  [[nodiscard]] SwitchId as_switch() const {
+    if (!is_switch()) throw std::logic_error("NodeRef: not a switch");
+    return SwitchId{index};
+  }
+
+  friend constexpr auto operator<=>(NodeRef, NodeRef) = default;
+};
+
+struct LinkSpec {
+  double capacity_gbps = 400.0;
+  TimeNs propagation = nsec(500);  // one hop of fiber + switch pipeline
+};
+
+/// One direction of a physical cable.
+struct Link {
+  LinkId id;
+  NodeRef from;
+  NodeRef to;
+  LinkId peer;  // the opposite direction of the same cable
+  double capacity_Bps = 0.0;
+  TimeNs propagation = 0;
+  std::string name;
+};
+
+struct RnicInfo {
+  RnicId id;
+  HostId host;
+  std::uint32_t index_in_host = 0;  // the "rail index" for rail topologies
+  IpAddr ip;
+  SwitchId tor;       // attachment switch (ToR or rail switch)
+  LinkId uplink;      // RNIC -> ToR direction
+  LinkId downlink;    // ToR -> RNIC direction
+  std::string name;
+};
+
+struct HostInfo {
+  HostId id;
+  std::vector<RnicId> rnics;
+  std::string name;
+};
+
+struct SwitchInfo {
+  SwitchId id;
+  SwitchTier tier = SwitchTier::kTor;
+  std::uint32_t pod = 0;    // pod index (Clos) or plane (spines)
+  std::uint32_t plane = 0;  // agg/spine plane index
+  std::string name;
+};
+
+/// Immutable topology graph. Dynamic state (link up/down, queues) lives in
+/// fabric::Fabric; the Topology itself never changes after construction.
+class Topology {
+ public:
+  // -- construction (used by the builders) --
+  HostId add_host();
+  SwitchId add_switch(SwitchTier tier, std::uint32_t pod, std::uint32_t plane,
+                      std::string name);
+  RnicId add_rnic(HostId host, SwitchId tor, const LinkSpec& link);
+  /// Adds both directions of a cable; returns the a->b direction.
+  LinkId add_cable(NodeRef a, NodeRef b, const LinkSpec& spec);
+
+  // -- accessors --
+  [[nodiscard]] const HostInfo& host(HostId id) const;
+  [[nodiscard]] const RnicInfo& rnic(RnicId id) const;
+  [[nodiscard]] const SwitchInfo& switch_info(SwitchId id) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+
+  [[nodiscard]] std::size_t num_hosts() const { return hosts_.size(); }
+  [[nodiscard]] std::size_t num_rnics() const { return rnics_.size(); }
+  [[nodiscard]] std::size_t num_switches() const { return switches_.size(); }
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+
+  [[nodiscard]] const std::vector<HostInfo>& hosts() const { return hosts_; }
+  [[nodiscard]] const std::vector<RnicInfo>& rnics() const { return rnics_; }
+  [[nodiscard]] const std::vector<SwitchInfo>& switches() const {
+    return switches_;
+  }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  /// Out-links of a node, sorted by LinkId (deterministic ECMP candidate
+  /// order).
+  [[nodiscard]] const std::vector<LinkId>& out_links(NodeRef n) const;
+
+  /// All RNICs attached to the given ToR/rail switch (the ToR-mesh group).
+  [[nodiscard]] const std::vector<RnicId>& rnics_under_tor(SwitchId tor) const;
+
+  /// All ToR-tier switches (tiers kTor and kRail).
+  [[nodiscard]] const std::vector<SwitchId>& tor_switches() const {
+    return tors_;
+  }
+
+  /// RNIC lookup by IP. Throws if unknown.
+  [[nodiscard]] RnicId rnic_by_ip(IpAddr ip) const;
+
+  /// Human-readable link description "tor-0/3 -> agg-0/1".
+  [[nodiscard]] std::string link_name(LinkId id) const;
+
+ private:
+  std::vector<HostInfo> hosts_;
+  std::vector<RnicInfo> rnics_;
+  std::vector<SwitchInfo> switches_;
+  std::vector<Link> links_;
+  std::vector<SwitchId> tors_;
+  // out-link adjacency: hosts first, then switches (resized on demand)
+  std::vector<std::vector<LinkId>> host_out_;
+  std::vector<std::vector<LinkId>> switch_out_;
+  std::vector<std::vector<RnicId>> tor_rnics_;  // indexed by switch id
+};
+
+/// Configuration for the 3-tier CLOS builder. Parallel cross-pod paths
+/// between two ToRs = aggs_per_pod * spines_per_plane; within a pod it is
+/// aggs_per_pod.
+struct ClosConfig {
+  std::uint32_t num_pods = 2;
+  std::uint32_t tors_per_pod = 2;
+  std::uint32_t aggs_per_pod = 2;
+  std::uint32_t spines_per_plane = 2;  // plane count == aggs_per_pod
+  std::uint32_t hosts_per_tor = 4;
+  std::uint32_t rnics_per_host = 1;
+  LinkSpec host_link{};   // RNIC <-> ToR
+  LinkSpec fabric_link{}; // switch <-> switch
+};
+
+Topology build_clos(const ClosConfig& cfg);
+
+/// Configuration for the 2-tier rail-optimized builder (Figure 12).
+struct RailConfig {
+  std::uint32_t num_hosts = 4;
+  std::uint32_t rails = 4;  // NICs per host == rail switches
+  std::uint32_t num_spines = 2;
+  LinkSpec host_link{};
+  LinkSpec fabric_link{};
+};
+
+Topology build_rail_optimized(const RailConfig& cfg);
+
+/// Number of parallel ECMP paths between two distinct ToRs in a Clos built
+/// by build_clos (used to size Equation-1 pinglists).
+std::uint32_t clos_parallel_paths(const ClosConfig& cfg, bool cross_pod);
+
+}  // namespace rpm::topo

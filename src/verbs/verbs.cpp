@@ -1,0 +1,59 @@
+#include "verbs/verbs.h"
+
+namespace rpm::verbs {
+
+int TracepointRegistry::attach_modify_qp(ModifyHandler h) {
+  const int handle = next_handle_++;
+  modify_.emplace(handle, std::move(h));
+  return handle;
+}
+
+int TracepointRegistry::attach_destroy_qp(DestroyHandler h) {
+  const int handle = next_handle_++;
+  destroy_.emplace(handle, std::move(h));
+  return handle;
+}
+
+void TracepointRegistry::detach(int handle) {
+  modify_.erase(handle);
+  destroy_.erase(handle);
+}
+
+void TracepointRegistry::fire_modify(const ModifyQpEvent& e) const {
+  for (const auto& [_, h] : modify_) h(e);
+}
+
+void TracepointRegistry::fire_destroy(const DestroyQpEvent& e) const {
+  for (const auto& [_, h] : destroy_) h(e);
+}
+
+void VerbsContext::modify_qp_connect(Qpn qpn, Gid remote_gid, Qpn remote_qpn,
+                                     std::uint16_t src_port) {
+  device_.connect_qp(qpn, remote_gid, remote_qpn, src_port);
+
+  ModifyQpEvent e;
+  e.host = host_;
+  e.rnic = device_.id();
+  e.local_qpn = qpn;
+  e.type = rnic::QpType::kRC;
+  e.tuple.src_ip = device_.ip();
+  if (const auto remote = rnic::rnic_of_gid(remote_gid)) {
+    e.tuple.dst_ip = device_.topology().rnic(*remote).ip;
+  }
+  e.tuple.src_port = src_port;
+  e.remote_gid = remote_gid;
+  e.remote_qpn = remote_qpn;
+  e.service = service_;
+  tracepoints_.fire_modify(e);
+}
+
+void VerbsContext::destroy_qp(Qpn qpn) {
+  device_.destroy_qp(qpn);
+  DestroyQpEvent e;
+  e.host = host_;
+  e.rnic = device_.id();
+  e.local_qpn = qpn;
+  tracepoints_.fire_destroy(e);
+}
+
+}  // namespace rpm::verbs

@@ -1,0 +1,111 @@
+// A verbs-like API facade over rnic::RnicDevice, plus the eBPF-style
+// tracepoint registry R-Pingmesh's service-flow monitor attaches to.
+//
+// §4.2.2: services connect RC QPs by calling modify_qp (which carries the
+// outer 5-tuple after the RTR transition) and tear them down with
+// destroy_qp. R-Pingmesh traces exactly these two verbs with eBPF — cheap,
+// because they only fire at connection setup/teardown. Here the "kernel" is
+// the per-host TracepointRegistry; attaching a callback is the simulation
+// equivalent of loading the eBPF program.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/five_tuple.h"
+#include "common/types.h"
+#include "rnic/rnic.h"
+
+namespace rpm::verbs {
+
+/// What the eBPF program sees when modify_qp transitions a QP to RTR/RTS:
+/// the connection's endpoints and the outer 5-tuple it will use.
+struct ModifyQpEvent {
+  HostId host;
+  RnicId rnic;
+  Qpn local_qpn;
+  rnic::QpType type = rnic::QpType::kRC;
+  FiveTuple tuple;
+  Gid remote_gid;
+  Qpn remote_qpn;
+  // Which service owns the connecting process. In production this comes
+  // from pid/cgroup attribution; the simulator carries it explicitly.
+  ServiceId service;
+};
+
+struct DestroyQpEvent {
+  HostId host;
+  RnicId rnic;
+  Qpn local_qpn;
+};
+
+/// Per-host tracepoint fan-out (the "kernel side"). Handlers must not throw.
+class TracepointRegistry {
+ public:
+  using ModifyHandler = std::function<void(const ModifyQpEvent&)>;
+  using DestroyHandler = std::function<void(const DestroyQpEvent&)>;
+
+  /// Attach returns a handle usable with detach().
+  int attach_modify_qp(ModifyHandler h);
+  int attach_destroy_qp(DestroyHandler h);
+  void detach(int handle);
+
+  void fire_modify(const ModifyQpEvent& e) const;
+  void fire_destroy(const DestroyQpEvent& e) const;
+
+ private:
+  int next_handle_ = 1;
+  std::unordered_map<int, ModifyHandler> modify_;
+  std::unordered_map<int, DestroyHandler> destroy_;
+};
+
+/// An opened device context, one per (process, RNIC) pair — the handle a
+/// service or the Agent uses to drive one RNIC.
+class VerbsContext {
+ public:
+  VerbsContext(rnic::RnicDevice& device, TracepointRegistry& tracepoints,
+               HostId host, ServiceId service = ServiceId{})
+      : device_(device),
+        tracepoints_(tracepoints),
+        host_(host),
+        service_(service) {}
+
+  [[nodiscard]] rnic::RnicDevice& device() { return device_; }
+  [[nodiscard]] const rnic::RnicDevice& device() const { return device_; }
+  [[nodiscard]] Gid gid() const { return device_.gid(); }
+  [[nodiscard]] HostId host() const { return host_; }
+
+  /// ibv_create_qp.
+  Qpn create_qp(rnic::QpConfig cfg) { return device_.create_qp(std::move(cfg)); }
+
+  /// ibv_modify_qp to RTR+RTS for a connected QP. The `src_port` argument is
+  /// the flow-label-chosen outer UDP source port. Fires the modify_qp
+  /// tracepoint with the resulting 5-tuple.
+  void modify_qp_connect(Qpn qpn, Gid remote_gid, Qpn remote_qpn,
+                         std::uint16_t src_port);
+
+  /// ibv_destroy_qp. Fires the destroy_qp tracepoint.
+  void destroy_qp(Qpn qpn);
+
+  /// ibv_post_send on a UD QP with an address handle for (gid, qpn).
+  void post_send_ud(Qpn qpn, Gid dst_gid, Qpn dst_qpn, std::uint16_t src_port,
+                    Bytes size, std::any payload, std::uint64_t wr_id) {
+    device_.post_send_ud(qpn, dst_gid, dst_qpn, src_port, size,
+                         std::move(payload), wr_id);
+  }
+
+  /// ibv_post_send on a connected (RC/UC) QP.
+  void post_send(Qpn qpn, Bytes size, std::any payload, std::uint64_t wr_id) {
+    device_.post_send_connected(qpn, size, std::move(payload), wr_id);
+  }
+
+ private:
+  rnic::RnicDevice& device_;
+  TracepointRegistry& tracepoints_;
+  HostId host_;
+  ServiceId service_;
+};
+
+}  // namespace rpm::verbs

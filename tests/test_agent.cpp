@@ -1,0 +1,279 @@
+// Agent-focused tests: probing cadences, the two-ACK measurement protocol's
+// bookkeeping, pinglist staleness, service-tracing lifecycle, path-tracing
+// cache behaviour, and upload cadence.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/agent.h"
+#include "core/analyzer.h"
+#include "core/controller.h"
+#include "host/cluster.h"
+#include "traffic/dml.h"
+
+namespace rpm::core {
+namespace {
+
+topo::ClosConfig clos_cfg() {
+  topo::ClosConfig cfg;
+  cfg.num_pods = 2;
+  cfg.tors_per_pod = 2;
+  cfg.aggs_per_pod = 2;
+  cfg.spines_per_plane = 2;
+  cfg.hosts_per_tor = 2;
+  cfg.rnics_per_host = 2;
+  cfg.host_link.capacity_gbps = 100.0;
+  cfg.fabric_link.capacity_gbps = 100.0;
+  return cfg;
+}
+
+/// A manual deployment whose upload stream is tapped.
+class AgentTest : public ::testing::Test {
+ protected:
+  AgentTest()
+      : cluster_(topo::build_clos(clos_cfg())),
+        ctrl_(cluster_.topology(), cluster_.router()) {
+    for (const topo::HostInfo& h : cluster_.topology().hosts()) {
+      agents_.push_back(std::make_unique<Agent>(
+          cluster_, h.id, ctrl_,
+          [this](HostId host, std::vector<ProbeRecord> recs) {
+            uploads_per_host_[host.value]++;
+            for (auto& r : recs) tap_.push_back(std::move(r));
+          }));
+    }
+  }
+
+  void start_all() {
+    for (auto& a : agents_) a->start();
+    for (auto& a : agents_) a->refresh_pinglists();
+  }
+
+  host::Cluster cluster_;
+  Controller ctrl_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::vector<ProbeRecord> tap_;
+  std::unordered_map<std::uint32_t, int> uploads_per_host_;
+};
+
+TEST_F(AgentTest, RegistersAllRnicsOnStart) {
+  EXPECT_FALSE(ctrl_.comm_info(RnicId{0}).has_value());
+  agents_[0]->start();
+  for (RnicId r : cluster_.topology().host(HostId{0}).rnics) {
+    const auto info = ctrl_.comm_info(r);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_TRUE(info->qpn.valid());
+    EXPECT_EQ(info->gid, rnic::gid_of(r));
+  }
+}
+
+TEST_F(AgentTest, RestartChangesQpns) {
+  agents_[0]->start();
+  const Qpn before = ctrl_.comm_info(RnicId{0})->qpn;
+  agents_[0]->restart();
+  const Qpn after = ctrl_.comm_info(RnicId{0})->qpn;
+  EXPECT_NE(before, after);
+}
+
+TEST_F(AgentTest, TorMeshCadenceIsTenPerSecond) {
+  start_all();
+  cluster_.run_for(sec(10));
+  // Each RNIC sends ~10 ToR-mesh probes/s (§5).
+  std::unordered_map<std::uint32_t, int> tormesh_by_prober;
+  for (const auto& r : tap_) {
+    if (r.kind == ProbeKind::kTorMesh) ++tormesh_by_prober[r.prober.value];
+  }
+  for (const auto& [rnic, count] : tormesh_by_prober) {
+    EXPECT_NEAR(count / 10.0, 10.0, 3.0) << "rnic " << rnic;
+  }
+}
+
+TEST_F(AgentTest, UploadsEveryFiveSeconds) {
+  start_all();
+  cluster_.run_for(sec(20) + msec(100));
+  for (const auto& [host, count] : uploads_per_host_) {
+    EXPECT_NEAR(count, 4, 1) << "host " << host;
+  }
+}
+
+TEST_F(AgentTest, MeasurementsArePlausibleOnIdleFabric) {
+  start_all();
+  cluster_.run_for(sec(5));
+  std::size_t ok = 0;
+  for (const auto& r : tap_) {
+    if (r.status != ProbeStatus::kOk) continue;
+    ++ok;
+    EXPECT_GT(r.network_rtt, usec(1));
+    EXPECT_LT(r.network_rtt, usec(50));
+    EXPECT_GT(r.responder_delay, 0);
+    EXPECT_LT(r.responder_delay, msec(10));
+    EXPECT_GT(r.prober_delay, 0);
+  }
+  EXPECT_GT(ok, 300u);
+}
+
+TEST_F(AgentTest, TorMeshProbesStayUnderOneTor) {
+  start_all();
+  cluster_.run_for(sec(3));
+  const auto& topo = cluster_.topology();
+  for (const auto& r : tap_) {
+    if (r.kind != ProbeKind::kTorMesh) continue;
+    EXPECT_EQ(topo.rnic(r.prober).tor, topo.rnic(r.target).tor);
+  }
+}
+
+TEST_F(AgentTest, InterTorProbesCrossTors) {
+  start_all();
+  cluster_.run_for(sec(5));
+  const auto& topo = cluster_.topology();
+  std::size_t inter = 0;
+  for (const auto& r : tap_) {
+    if (r.kind != ProbeKind::kInterTor) continue;
+    ++inter;
+    EXPECT_NE(topo.rnic(r.prober).tor, topo.rnic(r.target).tor);
+  }
+  EXPECT_GT(inter, 50u);
+}
+
+TEST_F(AgentTest, ProbeRecordsCarryTracedPaths) {
+  start_all();
+  cluster_.run_for(sec(5));
+  std::size_t with_paths = 0;
+  for (const auto& r : tap_) {
+    if (!r.path_known) continue;
+    ++with_paths;
+    ASSERT_FALSE(r.fwd_path.links.empty());
+    ASSERT_FALSE(r.rev_path.links.empty());
+    // Forward path starts at the prober's host and ends at the target's.
+    EXPECT_EQ(cluster_.topology().link(r.fwd_path.links.front()).from,
+              topo::NodeRef::host(cluster_.topology().rnic(r.prober).host));
+    EXPECT_EQ(cluster_.topology().link(r.rev_path.links.front()).from,
+              topo::NodeRef::host(cluster_.topology().rnic(r.target).host));
+  }
+  EXPECT_GT(with_paths, 100u);
+}
+
+TEST_F(AgentTest, StaleQpnTimeoutsAfterPeerRestartUntilRefresh) {
+  start_all();
+  cluster_.run_for(sec(2));
+  tap_.clear();
+  // Restart host 1's Agent: peers' pinglists now address stale QPNs.
+  agents_[1]->restart();
+  cluster_.run_for(sec(3));
+  std::size_t stale_timeouts = 0;
+  const auto& h1_rnics = cluster_.topology().host(HostId{1}).rnics;
+  const std::unordered_set<std::uint32_t> h1_set{h1_rnics[0].value,
+                                                 h1_rnics[1].value};
+  for (const auto& r : tap_) {
+    if (r.status == ProbeStatus::kTimeout && h1_set.contains(r.target.value)) {
+      ++stale_timeouts;
+      // The stale QPN in the record no longer matches the registry.
+      EXPECT_NE(r.target_qpn, ctrl_.comm_info(r.target)->qpn);
+    }
+  }
+  EXPECT_GT(stale_timeouts, 5u);
+  // After an explicit refresh, probes succeed again.
+  for (auto& a : agents_) a->refresh_pinglists();
+  tap_.clear();
+  cluster_.run_for(sec(3));
+  std::size_t ok_to_h1 = 0;
+  for (const auto& r : tap_) {
+    if (r.status == ProbeStatus::kOk && h1_set.contains(r.target.value)) {
+      ++ok_to_h1;
+    }
+  }
+  EXPECT_GT(ok_to_h1, 20u);
+}
+
+TEST_F(AgentTest, ServiceTracingUsesServiceTuplesAndService) {
+  start_all();
+  traffic::DmlConfig dml;
+  dml.service = ServiceId{5};
+  dml.workers = {RnicId{0}, RnicId{8}};
+  dml.compute_time = msec(100);
+  dml.comm_bytes = 10'000'000;
+  dml.base_port = 33000;
+  traffic::DmlService svc(cluster_, dml);
+  svc.start();
+  tap_.clear();
+  cluster_.run_for(sec(5));
+  std::size_t service_probes = 0;
+  std::unordered_set<std::uint16_t> ports;
+  for (const auto& r : tap_) {
+    if (r.kind != ProbeKind::kServiceTracing) continue;
+    ++service_probes;
+    EXPECT_EQ(r.service, ServiceId{5});
+    ports.insert(r.tuple.src_port);
+  }
+  // 10 ms cadence per RNIC with entries (§5): hundreds in 5 s.
+  EXPECT_GT(service_probes, 300u);
+  // The probes reuse the service's source ports (33000, 33001).
+  EXPECT_TRUE(ports.contains(33000));
+  EXPECT_TRUE(ports.contains(33001));
+  EXPECT_EQ(ports.size(), 2u);
+  svc.stop();
+  tap_.clear();
+  cluster_.run_for(sec(2));
+  for (const auto& r : tap_) {
+    EXPECT_NE(r.kind, ProbeKind::kServiceTracing)
+        << "tracing must pause when connections close";
+  }
+}
+
+TEST_F(AgentTest, ServiceProbesFollowServicePath) {
+  start_all();
+  traffic::DmlConfig dml;
+  dml.service = ServiceId{5};
+  dml.workers = {RnicId{0}, RnicId{8}};
+  dml.compute_time = msec(100);
+  dml.comm_bytes = 10'000'000;
+  dml.base_port = 34000;
+  traffic::DmlService svc(cluster_, dml);
+  svc.start();
+  const auto service_path =
+      cluster_.fabric().flow_path(svc.connections()[0].flow).links;
+  tap_.clear();
+  cluster_.run_for(sec(6));  // past the 5 s upload interval
+  std::size_t checked = 0;
+  for (const auto& r : tap_) {
+    if (r.kind != ProbeKind::kServiceTracing || !r.path_known) continue;
+    // Both endpoints trace with the same source port (each in its own
+    // direction); compare only the 0 -> 8 prober's records.
+    if (r.tuple.src_port != 34000 || r.prober != RnicId{0}) continue;
+    EXPECT_EQ(r.fwd_path.links, service_path)
+        << "probe must ride the service flow's ECMP path";
+    ++checked;
+  }
+  EXPECT_GT(checked, 50u);
+  svc.stop();
+}
+
+TEST_F(AgentTest, DownHostAgentGoesSilent) {
+  start_all();
+  cluster_.run_for(sec(2));
+  cluster_.host(HostId{0}).set_down(true);
+  const int uploads_before = uploads_per_host_[0];
+  tap_.clear();
+  cluster_.run_for(sec(10));
+  EXPECT_EQ(uploads_per_host_[0], uploads_before);
+  for (const auto& r : tap_) {
+    EXPECT_NE(r.prober_host, HostId{0}) << "down host must not probe";
+  }
+}
+
+TEST_F(AgentTest, StopDestroysUdQps) {
+  agents_[0]->start();
+  const auto qp_count_started =
+      cluster_.rnic_device(RnicId{0}).active_qp_count();
+  EXPECT_GT(qp_count_started, 0u);
+  agents_[0]->stop();
+  EXPECT_EQ(cluster_.rnic_device(RnicId{0}).active_qp_count(), 0u);
+}
+
+TEST_F(AgentTest, RequiresUploadSink) {
+  EXPECT_THROW(Agent(cluster_, HostId{0}, ctrl_, nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rpm::core

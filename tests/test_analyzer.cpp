@@ -1,0 +1,500 @@
+// Unit tests of the Analyzer pipeline (§4.3) on synthetic probe records —
+// precise control over every classification branch.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "core/controller.h"
+#include "rnic/rnic.h"
+#include "routing/ecmp.h"
+#include "sim/scheduler.h"
+#include "topo/topology.h"
+
+namespace rpm::core {
+namespace {
+
+topo::ClosConfig clos_cfg() {
+  topo::ClosConfig cfg;
+  cfg.num_pods = 2;
+  cfg.tors_per_pod = 2;
+  cfg.aggs_per_pod = 2;
+  cfg.spines_per_plane = 2;
+  cfg.hosts_per_tor = 2;
+  cfg.rnics_per_host = 2;
+  return cfg;
+}
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  AnalyzerTest()
+      : topo_(topo::build_clos(clos_cfg())),
+        router_(topo_),
+        ctrl_(topo_, router_),
+        analyzer_(topo_, ctrl_, sched_) {
+    // Register every RNIC with a known QPN.
+    for (const topo::HostInfo& h : topo_.hosts()) {
+      std::vector<RnicCommInfo> infos;
+      for (RnicId r : h.rnics) {
+        infos.push_back(
+            {r, topo_.rnic(r).ip, rnic::gid_of(r), Qpn{0x100 + r.value}});
+      }
+      ctrl_.register_agent(h.id, infos);
+    }
+  }
+
+  ProbeRecord make_record(RnicId prober, RnicId target, ProbeStatus status,
+                          ProbeKind kind = ProbeKind::kTorMesh) {
+    ProbeRecord r;
+    r.id = next_id_++;
+    r.kind = kind;
+    r.prober = prober;
+    r.target = target;
+    r.prober_host = topo_.rnic(prober).host;
+    r.target_qpn = Qpn{0x100 + target.value};
+    r.status = status;
+    r.sent_at = sched_.now();
+    if (status == ProbeStatus::kOk) {
+      r.network_rtt = usec(5);
+      r.responder_delay = usec(8);
+      r.prober_delay = usec(8);
+    }
+    // Realistic traced paths for voting.
+    FiveTuple t;
+    t.src_ip = topo_.rnic(prober).ip;
+    t.dst_ip = topo_.rnic(target).ip;
+    t.src_port = static_cast<std::uint16_t>(1000 + (r.id % 5000));
+    r.fwd_path = router_.resolve(prober, target, t);
+    FiveTuple rev = t;
+    std::swap(rev.src_ip, rev.dst_ip);
+    r.rev_path = router_.resolve(target, prober, rev);
+    r.path_known = true;
+    return r;
+  }
+
+  /// Keeps a host "alive" by uploading heartbeats from it.
+  void heartbeat_all_hosts() {
+    for (const topo::HostInfo& h : topo_.hosts()) {
+      analyzer_.upload(h.id, {});
+    }
+  }
+
+  /// Healthy ToR-mesh background so per-RNIC stats have denominators.
+  void upload_healthy_tormesh(int rounds = 20) {
+    std::vector<ProbeRecord> recs;
+    for (int i = 0; i < rounds; ++i) {
+      for (SwitchId tor : topo_.tor_switches()) {
+        const auto& group = topo_.rnics_under_tor(tor);
+        for (std::size_t a = 0; a < group.size(); ++a) {
+          recs.push_back(make_record(group[a], group[(a + 1) % group.size()],
+                                     ProbeStatus::kOk));
+        }
+      }
+    }
+    analyzer_.upload(HostId{0}, std::move(recs));
+  }
+
+  topo::Topology topo_;
+  routing::EcmpRouter router_;
+  sim::EventScheduler sched_;
+  Controller ctrl_;
+  Analyzer analyzer_;
+  std::uint64_t next_id_ = 1;
+};
+
+TEST_F(AnalyzerTest, EmptyPeriodIsClean) {
+  heartbeat_all_hosts();
+  const PeriodReport& rep = analyzer_.analyze_now();
+  EXPECT_EQ(rep.records_processed, 0u);
+  EXPECT_TRUE(rep.problems.empty());
+  EXPECT_EQ(rep.cluster_sla.probes, 0u);
+}
+
+TEST_F(AnalyzerTest, HostDownWhenSilent) {
+  // Host 3 never uploads after becoming known; everyone else heartbeats.
+  analyzer_.upload(HostId{3}, {});
+  sched_.run_until(sec(30));  // > 20 s silence
+  for (const topo::HostInfo& h : topo_.hosts()) {
+    if (h.id != HostId{3}) analyzer_.upload(h.id, {});
+  }
+  // Timeouts to host 3's RNICs are attributed to the down host.
+  std::vector<ProbeRecord> recs;
+  const RnicId dead = topo_.host(HostId{3}).rnics[0];
+  for (int i = 0; i < 10; ++i) {
+    recs.push_back(make_record(RnicId{0}, dead, ProbeStatus::kTimeout));
+  }
+  analyzer_.upload(HostId{0}, std::move(recs));
+  const PeriodReport& rep = analyzer_.analyze_now();
+  EXPECT_EQ(rep.timeouts_host_down, 10u);
+  EXPECT_EQ(rep.timeouts_switch, 0u);
+  EXPECT_EQ(rep.timeouts_rnic, 0u);
+  bool host_down_problem = false;
+  for (const auto& p : rep.problems) {
+    if (p.category == ProblemCategory::kHostDown && p.host == HostId{3}) {
+      host_down_problem = true;
+    }
+  }
+  EXPECT_TRUE(host_down_problem);
+}
+
+TEST_F(AnalyzerTest, QpnMismatchIsNoiseNotNetwork) {
+  heartbeat_all_hosts();
+  upload_healthy_tormesh();
+  std::vector<ProbeRecord> recs;
+  for (int i = 0; i < 10; ++i) {
+    ProbeRecord r = make_record(RnicId{0}, RnicId{2}, ProbeStatus::kTimeout);
+    r.target_qpn = Qpn{0x9999};  // stale QPN
+    recs.push_back(r);
+  }
+  analyzer_.upload(HostId{0}, std::move(recs));
+  const PeriodReport& rep = analyzer_.analyze_now();
+  EXPECT_EQ(rep.timeouts_qpn_reset, 10u);
+  EXPECT_EQ(rep.timeouts_rnic, 0u);
+  EXPECT_EQ(rep.timeouts_switch, 0u);
+}
+
+TEST_F(AnalyzerTest, TorMeshTimeoutRatioFlagsRnic) {
+  heartbeat_all_hosts();
+  upload_healthy_tormesh();
+  // 30% of probes to RNIC 6 time out (> 10% threshold).
+  std::vector<ProbeRecord> recs;
+  for (int i = 0; i < 14; ++i) {
+    recs.push_back(make_record(RnicId{4}, RnicId{6}, ProbeStatus::kOk));
+  }
+  for (int i = 0; i < 6; ++i) {
+    recs.push_back(make_record(RnicId{4}, RnicId{6}, ProbeStatus::kTimeout));
+  }
+  analyzer_.upload(HostId{2}, std::move(recs));
+  const PeriodReport& rep = analyzer_.analyze_now();
+  bool flagged = false;
+  for (const auto& p : rep.problems) {
+    if (p.category == ProblemCategory::kRnicProblem && p.rnic == RnicId{6}) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+  EXPECT_EQ(rep.timeouts_rnic, 6u);
+}
+
+TEST_F(AnalyzerTest, BelowThresholdRatioDoesNotFlag) {
+  heartbeat_all_hosts();
+  upload_healthy_tormesh();
+  // 5% timeouts: below the 10% bar.
+  std::vector<ProbeRecord> recs;
+  for (int i = 0; i < 38; ++i) {
+    recs.push_back(make_record(RnicId{4}, RnicId{6}, ProbeStatus::kOk));
+  }
+  for (int i = 0; i < 2; ++i) {
+    recs.push_back(make_record(RnicId{4}, RnicId{6}, ProbeStatus::kTimeout));
+  }
+  analyzer_.upload(HostId{2}, std::move(recs));
+  const PeriodReport& rep = analyzer_.analyze_now();
+  for (const auto& p : rep.problems) {
+    EXPECT_NE(p.category, ProblemCategory::kRnicProblem);
+  }
+  // The sub-threshold timeouts fall through to switch attribution.
+  EXPECT_EQ(rep.timeouts_switch, 2u);
+}
+
+TEST_F(AnalyzerTest, GreedyAttributionClearsPollutedPeers) {
+  heartbeat_all_hosts();
+  // RNIC 0 is dead: probes TO it all fail, and probes FROM it fail too,
+  // polluting peers 1, 2, 3 under the same ToR.
+  std::vector<ProbeRecord> recs;
+  const auto& group = topo_.rnics_under_tor(topo_.rnic(RnicId{0}).tor);
+  ASSERT_EQ(group.size(), 4u);
+  for (int round = 0; round < 10; ++round) {
+    for (RnicId a : group) {
+      for (RnicId b : group) {
+        if (a == b) continue;
+        const bool involves_dead = (a == RnicId{0}) || (b == RnicId{0});
+        recs.push_back(make_record(
+            a, b, involves_dead ? ProbeStatus::kTimeout : ProbeStatus::kOk));
+      }
+    }
+  }
+  analyzer_.upload(HostId{0}, std::move(recs));
+  const PeriodReport& rep = analyzer_.analyze_now();
+  std::size_t rnic_problems = 0;
+  RnicId flagged;
+  for (const auto& p : rep.problems) {
+    if (p.category == ProblemCategory::kRnicProblem) {
+      ++rnic_problems;
+      flagged = p.rnic;
+    }
+  }
+  EXPECT_EQ(rnic_problems, 1u) << "peers must not be blamed";
+  EXPECT_EQ(flagged, RnicId{0});
+  EXPECT_EQ(rep.timeouts_switch, 0u);
+}
+
+TEST_F(AnalyzerTest, MultiRnicSimultaneousTimeoutsAreCpuNoise) {
+  heartbeat_all_hosts();
+  upload_healthy_tormesh();
+  // Both RNICs of host 1 (RNICs 2 and 3) "drop" 30% simultaneously.
+  std::vector<ProbeRecord> recs;
+  for (RnicId victim : topo_.host(HostId{1}).rnics) {
+    for (int i = 0; i < 14; ++i) {
+      recs.push_back(make_record(RnicId{0}, victim, ProbeStatus::kOk));
+    }
+    for (int i = 0; i < 6; ++i) {
+      recs.push_back(make_record(RnicId{0}, victim, ProbeStatus::kTimeout));
+    }
+  }
+  analyzer_.upload(HostId{0}, std::move(recs));
+  const PeriodReport& rep = analyzer_.analyze_now();
+  EXPECT_GT(rep.timeouts_agent_cpu, 0u);
+  EXPECT_EQ(rep.timeouts_rnic, 0u);
+  bool noise = false;
+  for (const auto& p : rep.problems) {
+    EXPECT_NE(p.category, ProblemCategory::kRnicProblem);
+    if (p.category == ProblemCategory::kAgentCpuNoise &&
+        p.host == HostId{1}) {
+      noise = true;
+      EXPECT_EQ(p.priority, Priority::kNoise);
+    }
+  }
+  EXPECT_TRUE(noise);
+}
+
+TEST_F(AnalyzerTest, StarvedResponderDelayIsCpuNoise) {
+  heartbeat_all_hosts();
+  upload_healthy_tormesh();
+  // Only ONE RNIC of the host shows timeouts (multi-RNIC filter does not
+  // fire), but its completed probes show ~200 ms responder delays.
+  std::vector<ProbeRecord> recs;
+  for (int i = 0; i < 14; ++i) {
+    ProbeRecord r = make_record(RnicId{0}, RnicId{2}, ProbeStatus::kOk);
+    r.responder_delay = msec(200);
+    recs.push_back(r);
+  }
+  for (int i = 0; i < 6; ++i) {
+    recs.push_back(make_record(RnicId{0}, RnicId{2}, ProbeStatus::kTimeout));
+  }
+  analyzer_.upload(HostId{0}, std::move(recs));
+  const PeriodReport& rep = analyzer_.analyze_now();
+  for (const auto& p : rep.problems) {
+    EXPECT_NE(p.category, ProblemCategory::kRnicProblem);
+  }
+  EXPECT_GT(rep.timeouts_agent_cpu, 0u);
+}
+
+TEST_F(AnalyzerTest, FiltersCanBeDisabled) {
+  AnalyzerConfig cfg;
+  cfg.enable_cpu_noise_filters = false;
+  Analyzer no_filters(topo_, ctrl_, sched_, cfg);
+  for (const topo::HostInfo& h : topo_.hosts()) no_filters.upload(h.id, {});
+  std::vector<ProbeRecord> recs;
+  for (RnicId victim : topo_.host(HostId{1}).rnics) {
+    for (int i = 0; i < 14; ++i) {
+      recs.push_back(make_record(RnicId{0}, victim, ProbeStatus::kOk));
+    }
+    for (int i = 0; i < 6; ++i) {
+      recs.push_back(make_record(RnicId{0}, victim, ProbeStatus::kTimeout));
+    }
+  }
+  no_filters.upload(HostId{0}, std::move(recs));
+  const PeriodReport& rep = no_filters.analyze_now();
+  // Without the Fig. 6 filters both RNICs are (wrongly) flagged.
+  std::size_t rnic_problems = 0;
+  for (const auto& p : rep.problems) {
+    if (p.category == ProblemCategory::kRnicProblem) ++rnic_problems;
+  }
+  EXPECT_EQ(rnic_problems, 2u);
+}
+
+TEST_F(AnalyzerTest, Algorithm1FindsCommonLink) {
+  heartbeat_all_hosts();
+  upload_healthy_tormesh();
+  // Build timeout probes that all share one fabric link: same (src, dst,
+  // port) repeated — deterministic ECMP gives one path.
+  std::vector<ProbeRecord> recs;
+  ProbeRecord proto =
+      make_record(RnicId{0}, RnicId{12}, ProbeStatus::kTimeout,
+                  ProbeKind::kInterTor);
+  const LinkId common = proto.fwd_path.links[1];
+  for (int i = 0; i < 10; ++i) {
+    ProbeRecord r = proto;
+    r.id = next_id_++;
+    recs.push_back(r);
+  }
+  // Plus unrelated OK probes elsewhere.
+  for (int i = 0; i < 50; ++i) {
+    recs.push_back(make_record(RnicId{4}, RnicId{8}, ProbeStatus::kOk,
+                               ProbeKind::kInterTor));
+  }
+  analyzer_.upload(HostId{0}, std::move(recs));
+  const PeriodReport& rep = analyzer_.analyze_now();
+  const Problem* sw = nullptr;
+  for (const auto& p : rep.problems) {
+    if (p.category == ProblemCategory::kSwitchNetworkProblem) sw = &p;
+  }
+  ASSERT_NE(sw, nullptr);
+  bool found = false;
+  for (LinkId l : sw->suspect_links) {
+    if (l == common) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(sw->top_link_votes.empty());
+  EXPECT_GE(sw->top_link_votes.front().second, 10u);
+}
+
+TEST_F(AnalyzerTest, RnicBlameWindowPersistsAcrossPeriods) {
+  heartbeat_all_hosts();
+  upload_healthy_tormesh();
+  // Period 1: RNIC 6 anomalous.
+  std::vector<ProbeRecord> recs;
+  for (int i = 0; i < 20; ++i) {
+    recs.push_back(make_record(RnicId{4}, RnicId{6}, ProbeStatus::kTimeout));
+  }
+  analyzer_.upload(HostId{2}, std::move(recs));
+  sched_.run_until(sec(20));
+  analyzer_.analyze_now();
+  // Period 2 (within the 60 s blame window): sparse timeouts to RNIC 6 must
+  // still be attributed to the RNIC, not to switches.
+  heartbeat_all_hosts();
+  upload_healthy_tormesh();
+  recs.clear();
+  recs.push_back(make_record(RnicId{4}, RnicId{6}, ProbeStatus::kTimeout,
+                             ProbeKind::kInterTor));
+  recs.push_back(make_record(RnicId{4}, RnicId{6}, ProbeStatus::kTimeout,
+                             ProbeKind::kInterTor));
+  analyzer_.upload(HostId{2}, std::move(recs));
+  sched_.run_until(sec(40));
+  const PeriodReport& rep = analyzer_.analyze_now();
+  EXPECT_EQ(rep.timeouts_rnic, 2u);
+  EXPECT_EQ(rep.timeouts_switch, 0u);
+}
+
+TEST_F(AnalyzerTest, SlaSplitsRnicAndSwitchDropRates) {
+  heartbeat_all_hosts();
+  upload_healthy_tormesh(10);  // 160 OK probes
+  std::vector<ProbeRecord> recs;
+  // An anomalous RNIC (20 timeouts)...
+  for (int i = 0; i < 20; ++i) {
+    recs.push_back(make_record(RnicId{4}, RnicId{6}, ProbeStatus::kTimeout));
+  }
+  // ...and a switch problem (10 timeouts on one inter-ToR tuple).
+  ProbeRecord proto = make_record(RnicId{0}, RnicId{12},
+                                  ProbeStatus::kTimeout, ProbeKind::kInterTor);
+  for (int i = 0; i < 10; ++i) {
+    ProbeRecord r = proto;
+    r.id = next_id_++;
+    recs.push_back(r);
+  }
+  analyzer_.upload(HostId{0}, std::move(recs));
+  const PeriodReport& rep = analyzer_.analyze_now();
+  const auto& sla = rep.cluster_sla;
+  EXPECT_EQ(sla.probes, 160u + 30u);
+  EXPECT_EQ(sla.timeouts, 30u);
+  EXPECT_NEAR(sla.rnic_drop_rate, 20.0 / 190.0, 1e-9);
+  EXPECT_NEAR(sla.switch_drop_rate, 10.0 / 190.0, 1e-9);
+  EXPECT_GT(sla.rtt_p50, 0.0);
+}
+
+TEST_F(AnalyzerTest, ServiceImpactPriorities) {
+  heartbeat_all_hosts();
+  upload_healthy_tormesh();
+  // A degraded service whose tracing sees switch timeouts -> P0.
+  double metric = 0.2;  // below the 0.5 threshold
+  analyzer_.register_service({ServiceId{9}, [&metric] { return metric; }});
+  std::vector<ProbeRecord> recs;
+  ProbeRecord proto = make_record(RnicId{0}, RnicId{12},
+                                  ProbeStatus::kTimeout,
+                                  ProbeKind::kServiceTracing);
+  proto.service = ServiceId{9};
+  for (int i = 0; i < 10; ++i) {
+    ProbeRecord r = proto;
+    r.id = next_id_++;
+    recs.push_back(r);
+  }
+  // Plus OK service probes so the service network is known.
+  for (int i = 0; i < 50; ++i) {
+    ProbeRecord r = make_record(RnicId{0}, RnicId{12}, ProbeStatus::kOk,
+                                ProbeKind::kServiceTracing);
+    r.service = ServiceId{9};
+    recs.push_back(r);
+  }
+  analyzer_.upload(HostId{0}, std::move(recs));
+  const PeriodReport& rep = analyzer_.analyze_now();
+  const Problem* sw = nullptr;
+  for (const auto& p : rep.problems) {
+    if (p.category == ProblemCategory::kSwitchNetworkProblem) sw = &p;
+  }
+  ASSERT_NE(sw, nullptr);
+  EXPECT_TRUE(sw->detected_by_service_tracing);
+  EXPECT_TRUE(sw->in_service_network);
+  EXPECT_EQ(sw->priority, Priority::kP0);
+  EXPECT_FALSE(analyzer_.network_innocent(ServiceId{9}));
+  // A healthy metric downgrades the same evidence to P1.
+  metric = 0.9;
+  heartbeat_all_hosts();
+  recs.clear();
+  for (int i = 0; i < 10; ++i) {
+    ProbeRecord r = proto;
+    r.id = next_id_++;
+    recs.push_back(r);
+  }
+  analyzer_.upload(HostId{0}, std::move(recs));
+  const PeriodReport& rep2 = analyzer_.analyze_now();
+  for (const auto& p : rep2.problems) {
+    if (p.category == ProblemCategory::kSwitchNetworkProblem) {
+      EXPECT_EQ(p.priority, Priority::kP1);
+    }
+  }
+}
+
+TEST_F(AnalyzerTest, NetworkInnocentWhenNoServiceProblems) {
+  analyzer_.register_service({ServiceId{9}, [] { return 0.1; }});
+  heartbeat_all_hosts();
+  upload_healthy_tormesh();
+  analyzer_.analyze_now();
+  // Service degraded but no P0/P1: the network is innocent.
+  EXPECT_TRUE(analyzer_.network_innocent(ServiceId{9}));
+}
+
+TEST_F(AnalyzerTest, HighProcessingDelayProblem) {
+  heartbeat_all_hosts();
+  upload_healthy_tormesh();
+  std::vector<ProbeRecord> recs;
+  for (int i = 0; i < 20; ++i) {
+    ProbeRecord r = make_record(RnicId{0}, RnicId{4}, ProbeStatus::kOk);
+    r.responder_delay = msec(20);  // way above the 5 ms threshold
+    recs.push_back(r);
+  }
+  analyzer_.upload(HostId{0}, std::move(recs));
+  const PeriodReport& rep = analyzer_.analyze_now();
+  const Problem* p = nullptr;
+  for (const auto& prob : rep.problems) {
+    if (prob.category == ProblemCategory::kHighProcessingDelay) p = &prob;
+  }
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->host, topo_.rnic(RnicId{4}).host);
+}
+
+TEST_F(AnalyzerTest, HistoryBounded) {
+  AnalyzerConfig cfg;
+  cfg.history_limit = 3;
+  Analyzer a(topo_, ctrl_, sched_, cfg);
+  for (int i = 0; i < 10; ++i) a.analyze_now();
+  EXPECT_EQ(a.history().size(), 3u);
+}
+
+TEST_F(AnalyzerTest, RecordTapSeesEveryUpload) {
+  int taps = 0;
+  analyzer_.set_record_tap([&](const ProbeRecord&) { ++taps; });
+  std::vector<ProbeRecord> recs;
+  recs.push_back(make_record(RnicId{0}, RnicId{1}, ProbeStatus::kOk));
+  recs.push_back(make_record(RnicId{0}, RnicId{2}, ProbeStatus::kOk));
+  analyzer_.upload(HostId{0}, std::move(recs));
+  EXPECT_EQ(taps, 2);
+}
+
+TEST_F(AnalyzerTest, ConfigValidation) {
+  AnalyzerConfig bad;
+  bad.period = 0;
+  EXPECT_THROW(Analyzer(topo_, ctrl_, sched_, bad), std::invalid_argument);
+  EXPECT_THROW(analyzer_.register_service({ServiceId{1}, nullptr}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rpm::core

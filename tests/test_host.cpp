@@ -1,0 +1,127 @@
+// Tests for the host model (CPU-load-dependent process delay) and Cluster
+// assembly.
+#include <gtest/gtest.h>
+
+#include "host/cluster.h"
+#include "host/host.h"
+
+namespace rpm::host {
+namespace {
+
+topo::ClosConfig small_cfg() {
+  topo::ClosConfig cfg;
+  cfg.num_pods = 1;
+  cfg.tors_per_pod = 2;
+  cfg.aggs_per_pod = 1;
+  cfg.spines_per_plane = 1;
+  cfg.hosts_per_tor = 2;
+  cfg.rnics_per_host = 2;
+  return cfg;
+}
+
+double mean_delay(HostModel& h, int n = 3000) {
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(h.sample_process_delay());
+  }
+  return sum / n;
+}
+
+TEST(HostModel, DelayGrowsWithLoad) {
+  sim::EventScheduler sched;
+  HostModel h(HostId{0}, sched, sim::DeviceClock{}, Rng(1));
+  h.set_cpu_load(0.1);
+  const double idle = mean_delay(h);
+  h.set_cpu_load(0.8);
+  const double busy = mean_delay(h);
+  h.set_cpu_load(0.97);
+  const double overloaded = mean_delay(h);
+  EXPECT_LT(idle, busy);
+  EXPECT_LT(busy, overloaded);
+  // Overload reaches millisecond scale (Figure 8 left).
+  EXPECT_GT(overloaded, static_cast<double>(msec(1)));
+}
+
+TEST(HostModel, HealthyHostDelayIsMicroseconds) {
+  sim::EventScheduler sched;
+  HostModel h(HostId{0}, sched, sim::DeviceClock{}, Rng(1));
+  h.set_cpu_load(0.2);
+  EXPECT_LT(mean_delay(h), static_cast<double>(usec(50)));
+}
+
+TEST(HostModel, StarvationProducesProbeTimeoutScaleStalls) {
+  // Figure 6 (right): a service occupying the Agent's CPU causes stalls
+  // longer than the 500 ms probe timeout.
+  sim::EventScheduler sched;
+  HostModel h(HostId{0}, sched, sim::DeviceClock{}, Rng(1));
+  h.set_cpu_load(1.0);
+  int huge = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (h.sample_process_delay() > msec(500)) ++huge;
+  }
+  EXPECT_GT(huge, 100);   // a nontrivial fraction stalls past the timeout
+  EXPECT_LT(huge, 1500);  // but not all wakeups
+}
+
+TEST(HostModel, LoadValidation) {
+  sim::EventScheduler sched;
+  HostModel h(HostId{0}, sched, sim::DeviceClock{}, Rng(1));
+  EXPECT_THROW(h.set_cpu_load(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.set_cpu_load(1.1), std::invalid_argument);
+}
+
+TEST(HostModel, DownFlag) {
+  sim::EventScheduler sched;
+  HostModel h(HostId{0}, sched, sim::DeviceClock{}, Rng(1));
+  EXPECT_FALSE(h.is_down());
+  h.set_down(true);
+  EXPECT_TRUE(h.is_down());
+}
+
+TEST(Cluster, BuildsOneDevicePerRnicAndHost) {
+  Cluster c(topo::build_clos(small_cfg()));
+  EXPECT_EQ(c.num_hosts(), 4u);
+  EXPECT_EQ(c.num_rnics(), 8u);
+  for (std::uint32_t i = 0; i < c.num_rnics(); ++i) {
+    EXPECT_EQ(c.rnic_device(RnicId{i}).id(), RnicId{i});
+  }
+}
+
+TEST(Cluster, ClocksAreDistinct) {
+  Cluster c(topo::build_clos(small_cfg()));
+  const TimeNs a = c.rnic_device(RnicId{0}).rnic_now();
+  const TimeNs b = c.rnic_device(RnicId{1}).rnic_now();
+  const TimeNs h = c.host(HostId{0}).host_now();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, h);
+}
+
+TEST(Cluster, RunForAdvancesTimeAndStartsFluidEngine) {
+  Cluster c(topo::build_clos(small_cfg()));
+  c.run_for(msec(10));
+  EXPECT_EQ(c.scheduler().now(), msec(10));
+  c.run_for(msec(5));
+  EXPECT_EQ(c.scheduler().now(), msec(15));
+  // The fluid engine ran (it executes one event per step interval).
+  EXPECT_GT(c.scheduler().executed_events(), 100u);
+}
+
+TEST(Cluster, OpenDeviceBindsHostTracepoints) {
+  Cluster c(topo::build_clos(small_cfg()));
+  auto ctx = c.open_device(RnicId{2});
+  EXPECT_EQ(ctx.host(), c.topology().rnic(RnicId{2}).host);
+  EXPECT_EQ(ctx.gid(), rnic::gid_of(RnicId{2}));
+}
+
+TEST(Cluster, DeterministicAcrossRunsWithSameSeed) {
+  auto run = [] {
+    ClusterConfig cfg;
+    cfg.seed = 123;
+    Cluster c(topo::build_clos(small_cfg()), cfg);
+    return c.rnic_device(RnicId{3}).rnic_now();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace rpm::host

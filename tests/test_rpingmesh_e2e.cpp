@@ -1,0 +1,293 @@
+// End-to-end tests of the deployed R-Pingmesh system: Agents probing over
+// the simulated fabric, Analyzer classifying and localizing injected faults.
+#include <gtest/gtest.h>
+
+#include "core/rpingmesh.h"
+#include "faults/faults.h"
+#include "traffic/dml.h"
+
+namespace rpm::core {
+namespace {
+
+topo::ClosConfig clos_cfg() {
+  topo::ClosConfig cfg;
+  cfg.num_pods = 2;
+  cfg.tors_per_pod = 2;
+  cfg.aggs_per_pod = 2;
+  cfg.spines_per_plane = 2;
+  cfg.hosts_per_tor = 2;
+  cfg.rnics_per_host = 2;
+  cfg.host_link.capacity_gbps = 100.0;
+  cfg.fabric_link.capacity_gbps = 100.0;
+  return cfg;
+}
+
+struct Deployment {
+  Deployment() : cluster(topo::build_clos(clos_cfg())), rpm(cluster) {
+    rpm.start();
+  }
+  host::Cluster cluster;
+  RPingmesh rpm;
+};
+
+bool has_problem(const PeriodReport& rep, ProblemCategory cat) {
+  for (const Problem& p : rep.problems) {
+    if (p.category == cat) return true;
+  }
+  return false;
+}
+
+const Problem* find_problem(const PeriodReport& rep, ProblemCategory cat) {
+  for (const Problem& p : rep.problems) {
+    if (p.category == cat) return &p;
+  }
+  return nullptr;
+}
+
+TEST(RPingmeshE2E, HealthyClusterHasCleanSla) {
+  Deployment d;
+  d.cluster.run_for(sec(45));
+  const PeriodReport* rep = d.rpm.analyzer().last_report();
+  ASSERT_NE(rep, nullptr);
+  EXPECT_GT(rep->records_processed, 500u);
+  EXPECT_EQ(rep->cluster_sla.timeouts, 0u);
+  EXPECT_DOUBLE_EQ(rep->cluster_sla.rnic_drop_rate, 0.0);
+  EXPECT_DOUBLE_EQ(rep->cluster_sla.switch_drop_rate, 0.0);
+  // Idle RoCE RTT: a few microseconds, far below a software RTT.
+  EXPECT_GT(rep->cluster_sla.rtt_p50, 1000.0);      // > 1 us
+  EXPECT_LT(rep->cluster_sla.rtt_p99, 100'000.0);   // < 100 us
+  // No problems on a healthy cluster.
+  for (const Problem& p : rep->problems) {
+    EXPECT_EQ(p.priority, Priority::kNoise) << p.summary;
+  }
+}
+
+TEST(RPingmeshE2E, MeasuredRttMatchesGroundTruthDespiteClockChaos) {
+  // The decisive test of §4.2.1: every clock has up to ±1 s offset, yet the
+  // reported network RTT must be microsecond-accurate.
+  Deployment d;
+  d.cluster.run_for(sec(25));
+  const PeriodReport* rep = d.rpm.analyzer().last_report();
+  ASSERT_NE(rep, nullptr);
+  // Ground truth on an idle fabric: propagation (500ns/hop) * hops * 2 +
+  // small serialization; ToR-mesh ~2 hops, cross-pod ~6 hops. So P50 within
+  // [2us, 10us].
+  EXPECT_GT(rep->cluster_sla.rtt_p50, 1500.0);
+  EXPECT_LT(rep->cluster_sla.rtt_p50, 10'000.0);
+  // And processing delay is measured separately: microseconds on idle hosts.
+  EXPECT_LT(rep->cluster_sla.proc_p50, 100'000.0);
+  EXPECT_GT(rep->cluster_sla.proc_p50, 0.0);
+}
+
+TEST(RPingmeshE2E, RnicDownDetectedAsRnicProblem) {
+  Deployment d;
+  d.cluster.run_for(sec(25));
+  faults::FaultInjector inj(d.cluster);
+  inj.inject_rnic_down(RnicId{5});
+  d.cluster.run_for(sec(21));
+  const PeriodReport* rep = d.rpm.analyzer().last_report();
+  ASSERT_NE(rep, nullptr);
+  const Problem* p = find_problem(*rep, ProblemCategory::kRnicProblem);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->rnic, RnicId{5});
+  EXPECT_GT(rep->timeouts_rnic, 0u);
+  // Crucially, NO switch problem is reported: ToR-mesh filtering keeps the
+  // RNIC's timeouts out of switch localization (§4.3.2).
+  EXPECT_FALSE(has_problem(*rep, ProblemCategory::kSwitchNetworkProblem));
+}
+
+TEST(RPingmeshE2E, HostDownClassifiedAsNonNetwork) {
+  Deployment d;
+  d.cluster.run_for(sec(25));
+  faults::FaultInjector inj(d.cluster);
+  inj.inject_host_down(HostId{3});
+  d.cluster.run_for(sec(45));  // > silence threshold + a full period
+  const PeriodReport* rep = d.rpm.analyzer().last_report();
+  ASSERT_NE(rep, nullptr);
+  const Problem* p = find_problem(*rep, ProblemCategory::kHostDown);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->host, HostId{3});
+  EXPECT_GT(rep->timeouts_host_down, 0u);
+  // Host-down timeouts must NOT be blamed on switches.
+  EXPECT_FALSE(has_problem(*rep, ProblemCategory::kSwitchNetworkProblem));
+}
+
+TEST(RPingmeshE2E, QpnResetFilteredAsNoise) {
+  Deployment d;
+  d.cluster.run_for(sec(25));
+  // Restart the Agent on host 1: its RNICs get fresh QPNs; peers' pinglists
+  // are stale until the next 5-minute refresh.
+  d.rpm.agent(HostId{1}).restart();
+  d.cluster.run_for(sec(21));
+  const PeriodReport* rep = d.rpm.analyzer().last_report();
+  ASSERT_NE(rep, nullptr);
+  EXPECT_GT(rep->timeouts_qpn_reset, 0u);
+  // The noise is not misattributed to RNIC or switch problems.
+  EXPECT_FALSE(has_problem(*rep, ProblemCategory::kRnicProblem));
+  EXPECT_FALSE(has_problem(*rep, ProblemCategory::kSwitchNetworkProblem));
+  EXPECT_TRUE(has_problem(*rep, ProblemCategory::kQpnResetNoise));
+}
+
+TEST(RPingmeshE2E, SwitchPortFlappingLocalizedByVoting) {
+  Deployment d;
+  d.cluster.run_for(sec(25));
+  // Flap a ToR uplink: tor-0/0 -> agg-0/0 direction.
+  const auto& topo = d.cluster.topology();
+  LinkId victim;
+  for (const topo::Link& l : topo.links()) {
+    if (l.from.is_switch() && l.to.is_switch() &&
+        topo.switch_info(l.from.as_switch()).tier == topo::SwitchTier::kTor) {
+      victim = l.id;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  faults::FaultInjector inj(d.cluster);
+  inj.inject_switch_port_flapping(victim, msec(300), msec(300));
+  d.cluster.run_for(sec(41));
+  const PeriodReport* rep = d.rpm.analyzer().last_report();
+  ASSERT_NE(rep, nullptr);
+  const Problem* p = find_problem(*rep, ProblemCategory::kSwitchNetworkProblem);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GT(rep->timeouts_switch, 0u);
+  // Algorithm 1 fingered the flapping cable (either direction).
+  const LinkId peer = topo.link(victim).peer;
+  bool hit = false;
+  for (LinkId l : p->suspect_links) {
+    if (l == victim || l == peer) hit = true;
+  }
+  EXPECT_TRUE(hit) << "voting missed the flapping link";
+  // And no RNIC was wrongly blamed.
+  EXPECT_FALSE(has_problem(*rep, ProblemCategory::kRnicProblem));
+}
+
+TEST(RPingmeshE2E, AgentCpuOccupationFilteredAsNoise) {
+  // Figure 6 (right): service pegs every core of a 2-RNIC host; probes to
+  // BOTH RNICs "drop" simultaneously. The multi-RNIC filter must call it
+  // noise instead of reporting RNIC problems.
+  Deployment d;
+  d.cluster.run_for(sec(25));
+  faults::FaultInjector inj(d.cluster);
+  inj.inject_agent_cpu_occupation(HostId{2});
+  d.cluster.run_for(sec(41));  // include one fully-starved analysis period
+  const PeriodReport* rep = d.rpm.analyzer().last_report();
+  ASSERT_NE(rep, nullptr);
+  const Problem* noise = find_problem(*rep, ProblemCategory::kAgentCpuNoise);
+  ASSERT_NE(noise, nullptr);
+  EXPECT_EQ(noise->host, HostId{2});
+  EXPECT_EQ(noise->priority, Priority::kNoise);
+  EXPECT_FALSE(has_problem(*rep, ProblemCategory::kRnicProblem));
+}
+
+TEST(RPingmeshE2E, CpuOverloadSurfacesAsProcessingDelayBottleneck) {
+  Deployment d;
+  d.cluster.run_for(sec(25));
+  faults::FaultInjector inj(d.cluster);
+  inj.inject_cpu_overload(HostId{1}, 0.97);
+  d.cluster.run_for(sec(41));  // include one fully-overloaded period
+  const PeriodReport* rep = d.rpm.analyzer().last_report();
+  ASSERT_NE(rep, nullptr);
+  const Problem* p =
+      find_problem(*rep, ProblemCategory::kHighProcessingDelay);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->host, HostId{1});
+}
+
+TEST(RPingmeshE2E, ServiceTracingFollowsConnectionsLifecycle) {
+  Deployment d;
+  d.cluster.run_for(sec(5));
+  traffic::DmlConfig dml;
+  dml.service = ServiceId{7};
+  dml.workers = {RnicId{0}, RnicId{4}, RnicId{8}, RnicId{12}};
+  dml.compute_time = msec(200);
+  dml.comm_bytes = 50'000'000;
+  traffic::DmlService svc(d.cluster, dml);
+  svc.start();
+  // The Agent on each worker host picked up the 5-tuples via tracepoints.
+  std::size_t entries = 0;
+  for (const RnicId w : dml.workers) {
+    entries += d.rpm.agent(d.cluster.topology().rnic(w).host)
+                   .service_entries();
+  }
+  EXPECT_GE(entries, 8u);  // 4 ring connections, both endpoints trace
+  d.cluster.run_for(sec(21));
+  const PeriodReport* rep = d.rpm.analyzer().last_report();
+  ASSERT_NE(rep, nullptr);
+  bool saw_service_sla = false;
+  for (const auto& [svc_id, sla] : rep->service_slas) {
+    if (svc_id == ServiceId{7}) {
+      saw_service_sla = true;
+      EXPECT_GT(sla.probes, 100u);
+    }
+  }
+  EXPECT_TRUE(saw_service_sla);
+  svc.stop();
+  d.cluster.run_for(sec(1));
+  for (const RnicId w : dml.workers) {
+    EXPECT_EQ(
+        d.rpm.agent(d.cluster.topology().rnic(w).host).service_entries(), 0u);
+  }
+}
+
+TEST(RPingmeshE2E, ImpactAssessmentAssignsPriorities) {
+  Deployment d;
+  d.cluster.run_for(sec(5));
+  traffic::DmlConfig dml;
+  dml.service = ServiceId{7};
+  dml.workers = {RnicId{0}, RnicId{4}, RnicId{8}, RnicId{12}};
+  dml.compute_time = msec(200);
+  dml.comm_bytes = 50'000'000;
+  traffic::DmlService svc(d.cluster, dml);
+  d.rpm.watch_service(
+      {ServiceId{7}, [&svc] { return svc.relative_throughput(); }});
+  svc.start();
+  d.cluster.run_for(sec(25));
+
+  // A problem on a worker RNIC is in the service network: P0 or P1.
+  faults::FaultInjector inj(d.cluster);
+  const int h = inj.inject_rnic_down(RnicId{4});
+  d.cluster.run_for(sec(21));
+  const PeriodReport* rep = d.rpm.analyzer().last_report();
+  ASSERT_NE(rep, nullptr);
+  const Problem* p = find_problem(*rep, ProblemCategory::kRnicProblem);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->in_service_network);
+  EXPECT_TRUE(p->priority == Priority::kP0 || p->priority == Priority::kP1)
+      << priority_name(p->priority);
+  EXPECT_FALSE(d.rpm.analyzer().network_innocent(ServiceId{7}));
+  inj.clear(h);
+
+  // A problem far from the service (different pod, unused RNIC) is P2.
+  inj.inject_rnic_down(RnicId{15});
+  d.cluster.run_for(sec(41));
+  rep = d.rpm.analyzer().last_report();
+  const Problem* p2 = find_problem(*rep, ProblemCategory::kRnicProblem);
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(p2->rnic, RnicId{15});
+  EXPECT_EQ(p2->priority, Priority::kP2);
+}
+
+TEST(RPingmeshE2E, GidMissingMakesRnicUnreachable) {
+  Deployment d;
+  d.cluster.run_for(sec(25));
+  faults::FaultInjector inj(d.cluster);
+  inj.inject_gid_index_missing(RnicId{6});
+  d.cluster.run_for(sec(21));
+  const PeriodReport* rep = d.rpm.analyzer().last_report();
+  const Problem* p = find_problem(*rep, ProblemCategory::kRnicProblem);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->rnic, RnicId{6});
+}
+
+TEST(RPingmeshE2E, AgentOverheadScalesWithProbeRate) {
+  Deployment d;
+  d.cluster.run_for(sec(30));
+  const Agent& a = d.rpm.agent(HostId{0});
+  EXPECT_GT(a.probes_sent(), 100u);
+  // Figure 7 scale: Agent state is tens of KB per host in this small
+  // cluster; far below 18.5 MB even with production fan-out.
+  EXPECT_LT(a.approx_memory_bytes(), 20u * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace rpm::core

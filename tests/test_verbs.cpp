@@ -1,0 +1,140 @@
+// Tests for the verbs facade and the eBPF-style tracepoints used by
+// R-Pingmesh's service-flow monitor (§4.2.2).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "host/cluster.h"
+#include "verbs/verbs.h"
+
+namespace rpm::verbs {
+namespace {
+
+topo::ClosConfig small_cfg() {
+  topo::ClosConfig cfg;
+  cfg.num_pods = 1;
+  cfg.tors_per_pod = 2;
+  cfg.aggs_per_pod = 1;
+  cfg.spines_per_plane = 1;
+  cfg.hosts_per_tor = 2;
+  cfg.rnics_per_host = 1;
+  return cfg;
+}
+
+class VerbsTest : public ::testing::Test {
+ protected:
+  VerbsTest() : cluster_(topo::build_clos(small_cfg())) {}
+  host::Cluster cluster_;
+};
+
+TEST_F(VerbsTest, ModifyQpFiresTracepointWithFiveTuple) {
+  auto ctx = cluster_.open_device(RnicId{0});
+  auto& reg = cluster_.host(HostId{0}).tracepoints();
+
+  std::vector<ModifyQpEvent> events;
+  reg.attach_modify_qp([&](const ModifyQpEvent& e) { events.push_back(e); });
+
+  rnic::QpConfig cfg;
+  cfg.type = rnic::QpType::kRC;
+  cfg.on_cqe = [](const rnic::Cqe&) {};
+  const Qpn qpn = ctx.create_qp(cfg);
+  ctx.modify_qp_connect(qpn, rnic::gid_of(RnicId{3}), Qpn{0x200}, 54321);
+
+  ASSERT_EQ(events.size(), 1u);
+  const ModifyQpEvent& e = events[0];
+  EXPECT_EQ(e.host, HostId{0});
+  EXPECT_EQ(e.rnic, RnicId{0});
+  EXPECT_EQ(e.local_qpn, qpn);
+  EXPECT_EQ(e.tuple.src_ip, cluster_.topology().rnic(RnicId{0}).ip);
+  EXPECT_EQ(e.tuple.dst_ip, cluster_.topology().rnic(RnicId{3}).ip);
+  EXPECT_EQ(e.tuple.src_port, 54321);
+  EXPECT_EQ(e.tuple.dst_port, kRoceUdpPort);
+  EXPECT_EQ(e.remote_gid, rnic::gid_of(RnicId{3}));
+  EXPECT_EQ(e.remote_qpn, Qpn{0x200});
+}
+
+TEST_F(VerbsTest, DestroyQpFiresTracepoint) {
+  auto ctx = cluster_.open_device(RnicId{0});
+  auto& reg = cluster_.host(HostId{0}).tracepoints();
+  std::vector<DestroyQpEvent> events;
+  reg.attach_destroy_qp([&](const DestroyQpEvent& e) { events.push_back(e); });
+  rnic::QpConfig cfg;
+  cfg.type = rnic::QpType::kRC;
+  cfg.on_cqe = [](const rnic::Cqe&) {};
+  const Qpn qpn = ctx.create_qp(cfg);
+  ctx.destroy_qp(qpn);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].local_qpn, qpn);
+  EXPECT_FALSE(ctx.device().has_qp(qpn));
+}
+
+TEST_F(VerbsTest, DetachStopsDelivery) {
+  auto ctx = cluster_.open_device(RnicId{0});
+  auto& reg = cluster_.host(HostId{0}).tracepoints();
+  int count = 0;
+  const int handle =
+      reg.attach_modify_qp([&](const ModifyQpEvent&) { ++count; });
+  rnic::QpConfig cfg;
+  cfg.type = rnic::QpType::kRC;
+  cfg.on_cqe = [](const rnic::Cqe&) {};
+  const Qpn a = ctx.create_qp(cfg);
+  ctx.modify_qp_connect(a, rnic::gid_of(RnicId{3}), Qpn{0x200}, 1);
+  reg.detach(handle);
+  const Qpn b = ctx.create_qp(cfg);
+  ctx.modify_qp_connect(b, rnic::gid_of(RnicId{3}), Qpn{0x201}, 2);
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(VerbsTest, MultipleSubscribersAllFire) {
+  auto ctx = cluster_.open_device(RnicId{0});
+  auto& reg = cluster_.host(HostId{0}).tracepoints();
+  int a = 0, b = 0;
+  reg.attach_modify_qp([&](const ModifyQpEvent&) { ++a; });
+  reg.attach_modify_qp([&](const ModifyQpEvent&) { ++b; });
+  rnic::QpConfig cfg;
+  cfg.type = rnic::QpType::kRC;
+  cfg.on_cqe = [](const rnic::Cqe&) {};
+  const Qpn qpn = ctx.create_qp(cfg);
+  ctx.modify_qp_connect(qpn, rnic::gid_of(RnicId{3}), Qpn{0x200}, 1);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST_F(VerbsTest, TracepointsArePerHost) {
+  // An eBPF program loaded on host 0 must not see host 1's QP activity.
+  auto ctx1 = cluster_.open_device(RnicId{1});  // host 1's RNIC
+  auto& reg0 = cluster_.host(HostId{0}).tracepoints();
+  int count = 0;
+  reg0.attach_modify_qp([&](const ModifyQpEvent&) { ++count; });
+  rnic::QpConfig cfg;
+  cfg.type = rnic::QpType::kRC;
+  cfg.on_cqe = [](const rnic::Cqe&) {};
+  const Qpn qpn = ctx1.create_qp(cfg);
+  ctx1.modify_qp_connect(qpn, rnic::gid_of(RnicId{3}), Qpn{0x200}, 1);
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(VerbsTest, EndToEndConnectedSendViaFacade) {
+  auto a = cluster_.open_device(RnicId{0});
+  auto b = cluster_.open_device(RnicId{3});
+  std::vector<rnic::Cqe> recv;
+  rnic::QpConfig acfg;
+  acfg.type = rnic::QpType::kRC;
+  acfg.on_cqe = [](const rnic::Cqe&) {};
+  rnic::QpConfig bcfg;
+  bcfg.type = rnic::QpType::kRC;
+  bcfg.on_cqe = [&](const rnic::Cqe& c) {
+    if (!c.is_send) recv.push_back(c);
+  };
+  const Qpn qa = a.create_qp(acfg);
+  const Qpn qb = b.create_qp(bcfg);
+  a.modify_qp_connect(qa, b.gid(), qb, 999);
+  b.modify_qp_connect(qb, a.gid(), qa, 999);
+  a.post_send(qa, 4096, std::string("data"), 5);
+  cluster_.scheduler().run_until(msec(5));
+  ASSERT_EQ(recv.size(), 1u);
+  EXPECT_EQ(recv[0].tuple.src_port, 999);
+}
+
+}  // namespace
+}  // namespace rpm::verbs
