@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_path_tracing.dir/bench_ablation_path_tracing.cpp.o"
+  "CMakeFiles/bench_ablation_path_tracing.dir/bench_ablation_path_tracing.cpp.o.d"
+  "bench_ablation_path_tracing"
+  "bench_ablation_path_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_path_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq1_coverage.dir/bench_eq1_coverage.cpp.o"
+  "CMakeFiles/bench_eq1_coverage.dir/bench_eq1_coverage.cpp.o.d"
+  "bench_eq1_coverage"
+  "bench_eq1_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq1_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_service_tracing.dir/bench_fig10_service_tracing.cpp.o"
+  "CMakeFiles/bench_fig10_service_tracing.dir/bench_fig10_service_tracing.cpp.o.d"
+  "bench_fig10_service_tracing"
+  "bench_fig10_service_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_service_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

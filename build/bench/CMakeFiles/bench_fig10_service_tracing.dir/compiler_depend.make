@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig10_service_tracing.
+# This may be replaced when dependencies are built.

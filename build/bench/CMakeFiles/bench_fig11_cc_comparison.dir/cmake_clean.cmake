@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cc_comparison.dir/bench_fig11_cc_comparison.cpp.o"
+  "CMakeFiles/bench_fig11_cc_comparison.dir/bench_fig11_cc_comparison.cpp.o.d"
+  "bench_fig11_cc_comparison"
+  "bench_fig11_cc_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cc_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

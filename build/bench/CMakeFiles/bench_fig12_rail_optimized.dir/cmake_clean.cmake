@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_rail_optimized.dir/bench_fig12_rail_optimized.cpp.o"
+  "CMakeFiles/bench_fig12_rail_optimized.dir/bench_fig12_rail_optimized.cpp.o.d"
+  "bench_fig12_rail_optimized"
+  "bench_fig12_rail_optimized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_rail_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

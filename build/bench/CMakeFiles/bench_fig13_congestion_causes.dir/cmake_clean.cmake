@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_congestion_causes.dir/bench_fig13_congestion_causes.cpp.o"
+  "CMakeFiles/bench_fig13_congestion_causes.dir/bench_fig13_congestion_causes.cpp.o.d"
+  "bench_fig13_congestion_causes"
+  "bench_fig13_congestion_causes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_congestion_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

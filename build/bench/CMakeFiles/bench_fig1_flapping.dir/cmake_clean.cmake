@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_flapping.dir/bench_fig1_flapping.cpp.o"
+  "CMakeFiles/bench_fig1_flapping.dir/bench_fig1_flapping.cpp.o.d"
+  "bench_fig1_flapping"
+  "bench_fig1_flapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_flapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

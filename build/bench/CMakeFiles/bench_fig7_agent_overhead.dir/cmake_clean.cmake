@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_agent_overhead.dir/bench_fig7_agent_overhead.cpp.o"
+  "CMakeFiles/bench_fig7_agent_overhead.dir/bench_fig7_agent_overhead.cpp.o.d"
+  "bench_fig7_agent_overhead"
+  "bench_fig7_agent_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_agent_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bottlenecks.dir/bench_fig8_bottlenecks.cpp.o"
+  "CMakeFiles/bench_fig8_bottlenecks.dir/bench_fig8_bottlenecks.cpp.o.d"
+  "bench_fig8_bottlenecks"
+  "bench_fig8_bottlenecks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bottlenecks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_network_innocent.dir/bench_fig9_network_innocent.cpp.o"
+  "CMakeFiles/bench_fig9_network_innocent.dir/bench_fig9_network_innocent.cpp.o.d"
+  "bench_fig9_network_innocent"
+  "bench_fig9_network_innocent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_network_innocent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/public_cloud_diagnosis.dir/public_cloud_diagnosis.cpp.o"
+  "CMakeFiles/public_cloud_diagnosis.dir/public_cloud_diagnosis.cpp.o.d"
+  "public_cloud_diagnosis"
+  "public_cloud_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/public_cloud_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_tracing_loadbalance.dir/service_tracing_loadbalance.cpp.o"
+  "CMakeFiles/service_tracing_loadbalance.dir/service_tracing_loadbalance.cpp.o.d"
+  "service_tracing_loadbalance"
+  "service_tracing_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_tracing_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

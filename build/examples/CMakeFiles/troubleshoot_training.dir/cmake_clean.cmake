@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troubleshoot_training.dir/troubleshoot_training.cpp.o"
+  "CMakeFiles/troubleshoot_training.dir/troubleshoot_training.cpp.o.d"
+  "troubleshoot_training"
+  "troubleshoot_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troubleshoot_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

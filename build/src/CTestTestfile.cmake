@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("topo")
+subdirs("routing")
+subdirs("fabric")
+subdirs("rnic")
+subdirs("verbs")
+subdirs("host")
+subdirs("faults")
+subdirs("cc")
+subdirs("traffic")
+subdirs("pingmesh")
+subdirs("core")

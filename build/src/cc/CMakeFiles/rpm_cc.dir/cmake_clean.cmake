@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_cc.dir/cc.cpp.o"
+  "CMakeFiles/rpm_cc.dir/cc.cpp.o.d"
+  "librpm_cc.a"
+  "librpm_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librpm_cc.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_common.dir/five_tuple.cpp.o"
+  "CMakeFiles/rpm_common.dir/five_tuple.cpp.o.d"
+  "CMakeFiles/rpm_common.dir/log.cpp.o"
+  "CMakeFiles/rpm_common.dir/log.cpp.o.d"
+  "CMakeFiles/rpm_common.dir/stats.cpp.o"
+  "CMakeFiles/rpm_common.dir/stats.cpp.o.d"
+  "librpm_common.a"
+  "librpm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_core.dir/agent.cpp.o"
+  "CMakeFiles/rpm_core.dir/agent.cpp.o.d"
+  "CMakeFiles/rpm_core.dir/analyzer.cpp.o"
+  "CMakeFiles/rpm_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/rpm_core.dir/controller.cpp.o"
+  "CMakeFiles/rpm_core.dir/controller.cpp.o.d"
+  "CMakeFiles/rpm_core.dir/rootcause.cpp.o"
+  "CMakeFiles/rpm_core.dir/rootcause.cpp.o.d"
+  "CMakeFiles/rpm_core.dir/rpingmesh.cpp.o"
+  "CMakeFiles/rpm_core.dir/rpingmesh.cpp.o.d"
+  "CMakeFiles/rpm_core.dir/types.cpp.o"
+  "CMakeFiles/rpm_core.dir/types.cpp.o.d"
+  "librpm_core.a"
+  "librpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

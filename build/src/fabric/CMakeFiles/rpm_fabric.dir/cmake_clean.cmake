@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/rpm_fabric.dir/fabric.cpp.o.d"
+  "CMakeFiles/rpm_fabric.dir/int_telemetry.cpp.o"
+  "CMakeFiles/rpm_fabric.dir/int_telemetry.cpp.o.d"
+  "librpm_fabric.a"
+  "librpm_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_faults.dir/faults.cpp.o"
+  "CMakeFiles/rpm_faults.dir/faults.cpp.o.d"
+  "librpm_faults.a"
+  "librpm_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

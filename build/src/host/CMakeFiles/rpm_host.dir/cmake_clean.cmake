@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_host.dir/cluster.cpp.o"
+  "CMakeFiles/rpm_host.dir/cluster.cpp.o.d"
+  "CMakeFiles/rpm_host.dir/host.cpp.o"
+  "CMakeFiles/rpm_host.dir/host.cpp.o.d"
+  "librpm_host.a"
+  "librpm_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

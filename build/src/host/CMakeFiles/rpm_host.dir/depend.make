@@ -1,0 +1,2 @@
+# Empty dependencies file for rpm_host.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_pingmesh.dir/pingmesh.cpp.o"
+  "CMakeFiles/rpm_pingmesh.dir/pingmesh.cpp.o.d"
+  "librpm_pingmesh.a"
+  "librpm_pingmesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_pingmesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

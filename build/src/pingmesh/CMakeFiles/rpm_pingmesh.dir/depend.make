@@ -1,0 +1,2 @@
+# Empty dependencies file for rpm_pingmesh.
+# This may be replaced when dependencies are built.

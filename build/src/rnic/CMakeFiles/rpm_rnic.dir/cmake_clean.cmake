@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_rnic.dir/rnic.cpp.o"
+  "CMakeFiles/rpm_rnic.dir/rnic.cpp.o.d"
+  "librpm_rnic.a"
+  "librpm_rnic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_rnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_routing.dir/ecmp.cpp.o"
+  "CMakeFiles/rpm_routing.dir/ecmp.cpp.o.d"
+  "librpm_routing.a"
+  "librpm_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/rpm_sim.dir/scheduler.cpp.o.d"
+  "librpm_sim.a"
+  "librpm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

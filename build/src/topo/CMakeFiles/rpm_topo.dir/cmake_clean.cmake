@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_topo.dir/topology.cpp.o"
+  "CMakeFiles/rpm_topo.dir/topology.cpp.o.d"
+  "librpm_topo.a"
+  "librpm_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_traffic.dir/dml.cpp.o"
+  "CMakeFiles/rpm_traffic.dir/dml.cpp.o.d"
+  "librpm_traffic.a"
+  "librpm_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

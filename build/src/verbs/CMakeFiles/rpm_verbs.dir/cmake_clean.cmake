@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_verbs.dir/verbs.cpp.o"
+  "CMakeFiles/rpm_verbs.dir/verbs.cpp.o.d"
+  "librpm_verbs.a"
+  "librpm_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_agent.cpp" "tests/CMakeFiles/test_agent.dir/test_agent.cpp.o" "gcc" "tests/CMakeFiles/test_agent.dir/test_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/rpm_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/rpm_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/rpm_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rnic/CMakeFiles/rpm_rnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/rpm_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/rpm_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/rpm_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cc.dir/test_cc.cpp.o"
+  "CMakeFiles/test_cc.dir/test_cc.cpp.o.d"
+  "test_cc"
+  "test_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

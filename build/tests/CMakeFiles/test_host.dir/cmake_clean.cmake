@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host.dir/test_host.cpp.o"
+  "CMakeFiles/test_host.dir/test_host.cpp.o.d"
+  "test_host"
+  "test_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pingmesh.dir/test_pingmesh.cpp.o"
+  "CMakeFiles/test_pingmesh.dir/test_pingmesh.cpp.o.d"
+  "test_pingmesh"
+  "test_pingmesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pingmesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rnic.dir/test_rnic.cpp.o"
+  "CMakeFiles/test_rnic.dir/test_rnic.cpp.o.d"
+  "test_rnic"
+  "test_rnic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing.dir/test_routing.cpp.o"
+  "CMakeFiles/test_routing.dir/test_routing.cpp.o.d"
+  "test_routing"
+  "test_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verbs.dir/test_verbs.cpp.o"
+  "CMakeFiles/test_verbs.dir/test_verbs.cpp.o.d"
+  "test_verbs"
+  "test_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
