@@ -9,9 +9,26 @@
 #include <chrono>
 
 #include "bench_util.h"
+#include "telemetry/metrics.h"
 
 namespace rpm {
 namespace {
+
+/// Host-0 Agent activity pulled from the telemetry registry (summed over
+/// probe kinds) rather than from Agent accessors — the same numbers an
+/// operator would scrape in production.
+struct AgentStats {
+  double probes = 0.0;
+  double responses = 0.0;
+};
+
+AgentStats agent_stats_from_registry() {
+  const telemetry::Snapshot snap = telemetry::registry().snapshot();
+  AgentStats s;
+  s.probes = snap.sum("rpm_agent_probes_sent_total", {{"host", "0"}});
+  s.responses = snap.sum("rpm_agent_responses_sent_total", {{"host", "0"}});
+  return s;
+}
 
 void run() {
   bench::print_header(
@@ -30,8 +47,7 @@ void run() {
     d.cluster.run_for(sec(5));
 
     const core::Agent& agent = d.rpm.agent(HostId{0});
-    const auto probes0 = agent.probes_sent();
-    const auto resp0 = agent.responses_sent();
+    const AgentStats before = agent_stats_from_registry();
     const auto events0 = d.cluster.scheduler().executed_events();
 
     const auto wall0 = std::chrono::steady_clock::now();
@@ -39,10 +55,10 @@ void run() {
     d.cluster.run_for(sec(kSimSeconds));
     const auto wall1 = std::chrono::steady_clock::now();
 
-    const double probes =
-        static_cast<double>(agent.probes_sent() - probes0) / kSimSeconds;
+    const AgentStats after = agent_stats_from_registry();
+    const double probes = (after.probes - before.probes) / kSimSeconds;
     const double responses =
-        static_cast<double>(agent.responses_sent() - resp0) / kSimSeconds;
+        (after.responses - before.responses) / kSimSeconds;
     const double events =
         static_cast<double>(d.cluster.scheduler().executed_events() - events0);
 

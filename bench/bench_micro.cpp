@@ -1,6 +1,7 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the simulator
 // and the R-Pingmesh pipeline: 5-tuple hashing, ECMP resolution, fabric
-// fluid steps, packet sends, and a full Analyzer period.
+// fluid steps, packet sends, a full Analyzer period, and the telemetry
+// primitives sprinkled through all of the above.
 #include <benchmark/benchmark.h>
 
 #include "core/analyzer.h"
@@ -8,6 +9,8 @@
 #include "fabric/fabric.h"
 #include "host/cluster.h"
 #include "routing/ecmp.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
 #include "topo/topology.h"
 
 namespace rpm {
@@ -146,6 +149,60 @@ void BM_AnalyzerPeriod(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n_records);
 }
 BENCHMARK(BM_AnalyzerPeriod)->Arg(10000)->Arg(50000);
+
+// The instrumented hot paths above pay one of these per event; the increment
+// must stay in the low nanoseconds (one relaxed atomic add through a cached
+// handle) for the telemetry layer to be free.
+void BM_TelemetryCounterInc(benchmark::State& state) {
+  telemetry::MetricsRegistry reg;
+  const telemetry::Counter c =
+      reg.counter("bench_counter_total", "bench", {{"host", "0"}});
+  for (auto _ : state) {
+    c.inc();
+  }
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_TelemetryCounterInc);
+
+void BM_TelemetryHistogramObserve(benchmark::State& state) {
+  telemetry::MetricsRegistry reg;
+  const telemetry::Histogram h =
+      reg.histogram("bench_rtt_ns", "bench", {{"host", "0"}});
+  double v = 1000.0;
+  for (auto _ : state) {
+    v += 17.0;
+    if (v > 1e6) v = 1000.0;
+    h.observe(v);
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_TelemetryHistogramObserve);
+
+// Cold path: get-or-create lookup by (name, labels) — what a component pays
+// once at construction, never per event.
+void BM_TelemetryCounterLookup(benchmark::State& state) {
+  telemetry::MetricsRegistry reg;
+  reg.counter("bench_lookup_total", "bench", {{"host", "42"}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        reg.counter("bench_lookup_total", "bench", {{"host", "42"}}));
+  }
+}
+BENCHMARK(BM_TelemetryCounterLookup);
+
+void BM_TelemetrySnapshotExport(benchmark::State& state) {
+  telemetry::MetricsRegistry reg;
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    reg.counter("bench_series_total", "bench", {{"id", std::to_string(i)}})
+        .inc(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(telemetry::to_prometheus(reg.snapshot()));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TelemetrySnapshotExport)->Arg(100)->Arg(1000);
 
 }  // namespace
 }  // namespace rpm

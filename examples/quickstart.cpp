@@ -1,15 +1,47 @@
 // Quickstart: build a simulated RoCE cluster, deploy R-Pingmesh on every
 // host, watch the SLA, break something, and see it detected, categorized,
-// localized, and prioritized — all in ~40 lines of API use.
+// localized, and prioritized — all in ~40 lines of API use. Along the way
+// the telemetry subsystem watches R-Pingmesh itself: a Prometheus-style
+// scrape loop on the simulation clock, a final metrics dump, and a
+// chrome://tracing span file.
 //
 //   $ ./examples/quickstart
+#include <cstdint>
 #include <cstdio>
+#include <initializer_list>
+#include <string>
 
 #include "core/rootcause.h"
 #include "core/rpingmesh.h"
 #include "faults/faults.h"
 #include "host/cluster.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "topo/topology.h"
+
+namespace {
+
+// Print only the exposition lines for the families we want to showcase.
+void print_filtered(const std::string& prometheus_text,
+                    std::initializer_list<const char*> prefixes) {
+  std::size_t start = 0;
+  while (start < prometheus_text.size()) {
+    std::size_t end = prometheus_text.find('\n', start);
+    if (end == std::string::npos) end = prometheus_text.size();
+    const std::string line = prometheus_text.substr(start, end - start);
+    start = end + 1;
+    if (line.rfind("# ", 0) == 0) continue;  // skip HELP/TYPE comments
+    for (const char* p : prefixes) {
+      if (line.rfind(p, 0) == 0) {
+        std::printf("%s\n", line.c_str());
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace rpm;
@@ -27,11 +59,23 @@ int main() {
               cluster.num_hosts(), cluster.num_rnics(),
               cluster.topology().num_switches());
 
-  // 2. Deploy R-Pingmesh: Controller + one Agent per host + Analyzer.
+  // 2. Turn on self-observability: trace spans stamped with simulated time,
+  // and a periodic "scrape" of the metrics registry every 20 s of sim time.
+  telemetry::tracer().enable(
+      [&cluster]() -> TimeNs { return cluster.scheduler().now(); });
+  std::uint64_t scrape_bytes = 0;
+  telemetry::PeriodicDumper scraper(
+      cluster.scheduler(), sec(20),
+      [&scrape_bytes](const std::string& text) {
+        scrape_bytes += text.size();
+      });
+  scraper.start(sec(20));
+
+  // 3. Deploy R-Pingmesh: Controller + one Agent per host + Analyzer.
   core::RPingmesh rpm(cluster);
   rpm.start();
 
-  // 3. Let it monitor a healthy cluster for two analysis periods.
+  // 4. Let it monitor a healthy cluster for two analysis periods.
   cluster.run_for(sec(45));
   const core::PeriodReport* rep = rpm.analyzer().last_report();
   std::printf("\n-- healthy cluster, one 20 s analysis period --\n");
@@ -45,7 +89,7 @@ int main() {
               rep->cluster_sla.rnic_drop_rate,
               rep->cluster_sla.switch_drop_rate);
 
-  // 4. Break an RNIC, then a switch port, and watch both get localized.
+  // 5. Break an RNIC, then a switch port, and watch both get localized.
   faults::FaultInjector faults(cluster);
   std::printf("\n-- injecting: RNIC 5 down --\n");
   const int h1 = faults.inject_rnic_down(RnicId{5});
@@ -79,6 +123,35 @@ int main() {
   }
   std::printf("(injected fault was on: %s)\n",
               cluster.topology().link(victim).name.c_str());
+
+  // 6. How did R-Pingmesh itself behave? Dump the self-observability
+  // metrics: Agent probe volume, Analyzer pipeline cost, and the fabric
+  // counters on the faulted link.
+  scraper.stop();
+  const telemetry::Snapshot snap = telemetry::registry().snapshot();
+  const std::string prom = telemetry::to_prometheus(snap);
+  std::printf("\n-- self-observability (%llu periodic scrapes, %llu bytes) --\n",
+              static_cast<unsigned long long>(scraper.dumps()),
+              static_cast<unsigned long long>(scrape_bytes));
+  std::printf("\nagent probe counters:\n");
+  print_filtered(prom, {"rpm_agent_probes_sent_total{host=\"0\"",
+                        "rpm_agent_probes_completed_total{host=\"0\"",
+                        "rpm_agent_probe_timeouts_total{host=\"0\""});
+  std::printf("\nanalyzer pipeline (per-stage wall cost):\n");
+  print_filtered(prom, {"rpm_analyzer_stage_ns", "rpm_analyzer_periods"});
+  std::printf("\nfabric + per-link counters (faulted link shows drops):\n");
+  print_filtered(prom, {"rpm_fabric_", "rpm_link_"});
+  std::printf("\nevent loop:\n");
+  print_filtered(prom, {"rpm_sim_"});
+
+  // The trace of everything above, viewable in chrome://tracing / Perfetto.
+  const std::string trace = telemetry::tracer().chrome_json();
+  if (std::FILE* f = std::fopen("quickstart_trace.json", "w")) {
+    std::fwrite(trace.data(), 1, trace.size(), f);
+    std::fclose(f);
+    std::printf("\ntrace: %zu span events -> quickstart_trace.json\n",
+                telemetry::tracer().num_events());
+  }
 
   rpm.stop();
   return 0;

@@ -1,23 +1,42 @@
 #include "common/log.h"
 
+#include <atomic>
+#include <mutex>
+
 namespace rpm {
 
 namespace {
-LogLevel g_threshold = LogLevel::kWarn;
+std::atomic<LogLevel> g_threshold = LogLevel::kWarn;
+
+// One mutex for the final sink write. Each LogLine buffers into its own
+// ostringstream and is flushed as a single line, so concurrent loggers can
+// never interleave characters within a line.
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
 }  // namespace
 
-LogLevel log_threshold() { return g_threshold; }
-void set_log_threshold(LogLevel level) { g_threshold = level; }
+LogLevel log_threshold() {
+  return g_threshold.load(std::memory_order_relaxed);
+}
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
 
 namespace detail {
 
 LogLine::LogLine(LogLevel level, const char* tag)
-    : enabled_(level >= g_threshold) {
+    : enabled_(level >= log_threshold()) {
   if (enabled_) stream_ << '[' << tag << "] ";
 }
 
 LogLine::~LogLine() {
-  if (enabled_) std::clog << stream_.str() << '\n';
+  if (!enabled_) return;
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::clog << line;
 }
 
 }  // namespace detail

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "rnic/rnic.h"
+#include "telemetry/trace.h"
 
 namespace rpm::core {
 
@@ -19,6 +20,34 @@ Agent::Agent(host::Cluster& cluster, HostId host, Controller& controller,
       // never collide with the small wr_ids used for ACK sends).
       next_probe_id_((static_cast<std::uint64_t>(host.value) + 1) << 40) {
   if (!upload_) throw std::invalid_argument("Agent: upload sink required");
+
+  auto& reg = telemetry::registry();
+  const std::string host_label = std::to_string(host_.value);
+  for (std::uint8_t k = 0; k < 3; ++k) {
+    const telemetry::Labels labels = {
+        {"host", host_label},
+        {"kind", probe_kind_name(static_cast<ProbeKind>(k))}};
+    metrics_.probes_sent[k] =
+        reg.counter("rpm_agent_probes_sent_total", "Probes posted", labels);
+    metrics_.probes_completed[k] = reg.counter(
+        "rpm_agent_probes_completed_total",
+        "Probes with all four timestamps and ACK2", labels);
+    metrics_.probe_timeouts[k] = reg.counter(
+        "rpm_agent_probe_timeouts_total", "Probes missing an ACK at timeout",
+        labels);
+    metrics_.rtt_ns[k] = reg.histogram(
+        "rpm_agent_network_rtt_ns", "Measured network RTT, (5-2)-(4-3)",
+        labels);
+  }
+  metrics_.responses_sent = reg.counter("rpm_agent_responses_sent_total",
+                                        "ACK1/ACK2 pairs issued as responder",
+                                        {{"host", host_label}});
+  metrics_.uploads = reg.counter("rpm_agent_uploads_total",
+                                 "Record batches uploaded to the Analyzer",
+                                 {{"host", host_label}});
+  metrics_.upload_records = reg.counter("rpm_agent_upload_records_total",
+                                        "Probe records uploaded",
+                                        {{"host", host_label}});
 }
 
 Agent::~Agent() {
@@ -279,6 +308,11 @@ void Agent::send_probe(std::uint32_t slot, const PinglistEntry& entry) {
       st.ud_qpn, entry.target_gid, entry.target_qpn, entry.tuple.src_port,
       cfg_.probe_payload_bytes, w, /*wr_id=*/pid);
   ++probes_sent_;
+  metrics_.probes_sent[static_cast<std::uint8_t>(entry.kind)].inc();
+  if (telemetry::tracer().enabled()) {
+    telemetry::tracer().async_begin("probe", probe_kind_name(entry.kind),
+                                    pid);
+  }
 
   cluster_.scheduler().schedule_after(cfg_.probe_timeout, [this, pid] {
     finalize_timeout(pid);
@@ -355,6 +389,7 @@ void Agent::handle_probe(std::uint32_t slot, const rnic::Cqe& cqe,
         st.ud_qpn, prober_gid, prober_qpn, src_port,
         cfg_.probe_payload_bytes, ack1, wr);
     ++responses_sent_;
+    metrics_.responses_sent.inc();
   });
 }
 
@@ -394,6 +429,13 @@ void Agent::finalize_if_complete(std::uint64_t probe_id) {
       (p.t5_rnic - p.t2_rnic) - p.record.responder_delay;  // (⑤-②)-(④-③)
   p.record.prober_delay =
       (p.t6_host - p.t1_host) - (p.t5_rnic - p.t2_rnic);   // (⑥-①)-(⑤-②)
+  const auto kind = static_cast<std::uint8_t>(p.record.kind);
+  metrics_.probes_completed[kind].inc();
+  metrics_.rtt_ns[kind].observe(static_cast<double>(p.record.network_rtt));
+  if (telemetry::tracer().enabled()) {
+    telemetry::tracer().async_end("probe", probe_kind_name(p.record.kind),
+                                  probe_id);
+  }
   outbox_.push_back(std::move(p.record));
   pending_.erase(it);
 }
@@ -402,6 +444,11 @@ void Agent::finalize_timeout(std::uint64_t probe_id) {
   auto it = pending_.find(probe_id);
   if (it == pending_.end()) return;  // completed in time
   it->second.record.status = ProbeStatus::kTimeout;
+  const ProbeKind kind = it->second.record.kind;
+  metrics_.probe_timeouts[static_cast<std::uint8_t>(kind)].inc();
+  if (telemetry::tracer().enabled()) {
+    telemetry::tracer().async_end("probe", probe_kind_name(kind), probe_id);
+  }
   outbox_.push_back(std::move(it->second.record));
   pending_.erase(it);
 }
@@ -411,6 +458,8 @@ void Agent::upload_now() {
   if (outbox_.empty()) return;
   std::vector<ProbeRecord> batch;
   batch.swap(outbox_);
+  metrics_.uploads.inc();
+  metrics_.upload_records.inc(batch.size());
   upload_(host_, std::move(batch));
 }
 

@@ -43,6 +43,7 @@
 #include "core/types.h"
 #include "host/cluster.h"
 #include "sim/scheduler.h"
+#include "telemetry/metrics.h"
 
 namespace rpm::core {
 
@@ -185,6 +186,19 @@ class Agent {
   std::unordered_map<std::uint64_t, ResponderCtx> responder_ctx_;
   std::unique_ptr<sim::PeriodicTask> upload_task_;
   std::unique_ptr<sim::PeriodicTask> refresh_task_;
+
+  // Self-observability handles, labeled {host, kind} and created once at
+  // construction — hot paths only touch cached handles.
+  struct Metrics {
+    telemetry::Counter probes_sent[3];      // indexed by ProbeKind
+    telemetry::Counter probes_completed[3];
+    telemetry::Counter probe_timeouts[3];
+    telemetry::Histogram rtt_ns[3];
+    telemetry::Counter responses_sent;
+    telemetry::Counter uploads;
+    telemetry::Counter upload_records;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace rpm::core

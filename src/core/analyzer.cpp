@@ -1,17 +1,60 @@
 #include "core/analyzer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "common/stats.h"
+#include "telemetry/trace.h"
 
 namespace rpm::core {
+
+const char* Analyzer::stage_name(int stage) {
+  static constexpr const char* kNames[kNumStages] = {
+      "classify",    // §4.3.1 noise filters (host down, QPN reset)
+      "rnic_detect",  // §4.3.2 anomalous-RNIC detection
+      "attribute",    // final per-timeout cause attribution
+      "localize",     // §4.3.3 Algorithm-1 voting + problem emission
+      "bottlenecks",  // high-RTT / high-processing-delay detection
+      "sla",          // percentile aggregation
+      "impact",       // §4.3.4 P0/P1/P2 assessment
+  };
+  return kNames[stage];
+}
 
 Analyzer::Analyzer(const topo::Topology& topo, const Controller& controller,
                    sim::EventScheduler& sched, AnalyzerConfig cfg)
     : topo_(topo), controller_(controller), sched_(sched), cfg_(cfg) {
   if (cfg_.period <= 0) {
     throw std::invalid_argument("AnalyzerConfig: period must be > 0");
+  }
+  auto& reg = telemetry::registry();
+  metrics_.periods =
+      reg.counter("rpm_analyzer_periods_total", "Analysis periods executed");
+  metrics_.uploads = reg.counter("rpm_analyzer_uploads_total",
+                                 "Agent record batches received");
+  metrics_.records = reg.counter("rpm_analyzer_records_total",
+                                 "Probe records received from Agents");
+  for (int s = 0; s < kNumStages; ++s) {
+    metrics_.stage_ns[s] =
+        reg.histogram("rpm_analyzer_stage_ns",
+                      "Wall-clock cost of one pipeline stage per period",
+                      {{"stage", stage_name(s)}});
+  }
+  for (std::uint8_t c = 0; c < 5; ++c) {
+    metrics_.timeouts_by_cause[c] = reg.counter(
+        "rpm_analyzer_timeouts_total", "Timeout probes by attributed cause",
+        {{"cause", anomaly_cause_name(static_cast<AnomalyCause>(c))}});
+  }
+  for (std::uint8_t c = 0; c < 7; ++c) {
+    metrics_.problems_by_category[c] = reg.counter(
+        "rpm_analyzer_problems_total", "Problems emitted by category",
+        {{"category", problem_category_name(static_cast<ProblemCategory>(c))}});
+  }
+  for (std::uint8_t p = 0; p < 4; ++p) {
+    metrics_.problems_by_priority[p] = reg.counter(
+        "rpm_analyzer_problem_priority_total", "Problems emitted by priority",
+        {{"priority", priority_name(static_cast<Priority>(p))}});
   }
 }
 
@@ -22,6 +65,8 @@ UploadFn Analyzer::upload_sink() {
 }
 
 void Analyzer::upload(HostId host, std::vector<ProbeRecord> records) {
+  metrics_.uploads.inc();
+  metrics_.records.inc(records.size());
   last_upload_[host.value] = sched_.now();
   known_hosts_.insert(host.value);
   if (tap_) {
@@ -140,7 +185,33 @@ const PeriodReport& Analyzer::analyze_now() {
   records.swap(buffer_);
   rep.records_processed = records.size();
 
+  metrics_.periods.inc();
+  const std::uint64_t period_span =
+      telemetry::tracer().begin_span("analyzer.period", "analyzer");
+  int cur_stage = -1;
+  std::uint64_t stage_span = 0;
+  std::chrono::steady_clock::time_point stage_t0{};
+  // Transition between pipeline stages: close the previous stage's span and
+  // wall-clock histogram sample, open the next. enter_stage(-1) closes out.
+  const auto enter_stage = [&](int next) {
+    const auto wall = std::chrono::steady_clock::now();
+    if (cur_stage >= 0) {
+      metrics_.stage_ns[cur_stage].observe(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(wall -
+                                                               stage_t0)
+              .count()));
+      telemetry::tracer().end_span(stage_span);
+    }
+    cur_stage = next;
+    stage_t0 = wall;
+    if (next >= 0) {
+      stage_span = telemetry::tracer().begin_span(
+          std::string("analyzer.") + stage_name(next), "analyzer");
+    }
+  };
+
   // ---- step 1: non-network timeouts and probe noise (§4.3.1) ----
+  enter_stage(0);
 
   std::unordered_set<std::uint32_t> down_hosts;
   for (std::uint32_t h : known_hosts_) {
@@ -169,6 +240,7 @@ const PeriodReport& Analyzer::analyze_now() {
   }
 
   // ---- step 2: anomalous-RNIC detection from ToR-mesh data (§4.3.2) ----
+  enter_stage(1);
 
   struct RnicStat {
     std::size_t total = 0;
@@ -268,6 +340,7 @@ const PeriodReport& Analyzer::analyze_now() {
   };
 
   // ---- step 3: attribute the remaining timeouts ----
+  enter_stage(2);
 
   for (std::size_t i = 0; i < records.size(); ++i) {
     const ProbeRecord& r = records[i];
@@ -326,6 +399,7 @@ const PeriodReport& Analyzer::analyze_now() {
   }
 
   // ---- emit problems ----
+  enter_stage(3);
 
   for (std::uint32_t h : down_hosts) {
     Problem p;
@@ -382,6 +456,7 @@ const PeriodReport& Analyzer::analyze_now() {
   }
 
   // ---- step 4: bottlenecks (high RTT / high processing delay) ----
+  enter_stage(4);
 
   std::vector<const ProbeRecord*> hot_cluster;
   std::unordered_map<std::uint32_t, std::vector<const ProbeRecord*>>
@@ -451,6 +526,7 @@ const PeriodReport& Analyzer::analyze_now() {
   }
 
   // ---- step 5: SLA tracking ----
+  enter_stage(5);
 
   std::vector<const ProbeRecord*> cluster_records;
   std::unordered_map<std::uint32_t, std::vector<const ProbeRecord*>>
@@ -470,6 +546,7 @@ const PeriodReport& Analyzer::analyze_now() {
   }
 
   // ---- step 6: impact (needs the service networks from this period) ----
+  enter_stage(6);
 
   // Service network = every link/rnic/host the service's tracing probes
   // touched this period.
@@ -534,6 +611,24 @@ const PeriodReport& Analyzer::analyze_now() {
     }
     p.priority = metric < cfg_.degradation_threshold ? Priority::kP0
                                                      : Priority::kP1;
+  }
+
+  enter_stage(-1);
+  telemetry::tracer().end_span(period_span);
+
+  metrics_.timeouts_by_cause[static_cast<int>(AnomalyCause::kHostDown)].inc(
+      rep.timeouts_host_down);
+  metrics_.timeouts_by_cause[static_cast<int>(AnomalyCause::kQpnReset)].inc(
+      rep.timeouts_qpn_reset);
+  metrics_.timeouts_by_cause[static_cast<int>(AnomalyCause::kAgentCpuNoise)]
+      .inc(rep.timeouts_agent_cpu);
+  metrics_.timeouts_by_cause[static_cast<int>(AnomalyCause::kRnicProblem)]
+      .inc(rep.timeouts_rnic);
+  metrics_.timeouts_by_cause[static_cast<int>(AnomalyCause::kSwitchProblem)]
+      .inc(rep.timeouts_switch);
+  for (const Problem& p : rep.problems) {
+    metrics_.problems_by_category[static_cast<int>(p.category)].inc();
+    metrics_.problems_by_priority[static_cast<int>(p.priority)].inc();
   }
 
   history_.push_back(std::move(rep));

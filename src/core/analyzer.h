@@ -38,6 +38,7 @@
 #include "core/controller.h"
 #include "core/types.h"
 #include "sim/scheduler.h"
+#include "telemetry/metrics.h"
 #include "topo/topology.h"
 
 namespace rpm::core {
@@ -130,6 +131,22 @@ class Analyzer {
   std::deque<PeriodReport> history_;
   TimeNs last_period_end_ = 0;
   std::unique_ptr<sim::PeriodicTask> period_task_;
+
+  // Self-observability: the 20 s pipeline is the Analyzer's hot path; each
+  // stage's wall-clock cost is tracked so future sharding/batching PRs can
+  // show where the time goes.
+  static constexpr int kNumStages = 7;
+  static const char* stage_name(int stage);
+  struct Metrics {
+    telemetry::Counter periods;
+    telemetry::Counter uploads;
+    telemetry::Counter records;
+    telemetry::Histogram stage_ns[kNumStages];
+    telemetry::Counter timeouts_by_cause[5];    // indexed by AnomalyCause
+    telemetry::Counter problems_by_category[7];  // indexed by ProblemCategory
+    telemetry::Counter problems_by_priority[4];  // indexed by Priority
+  };
+  Metrics metrics_;
 };
 
 }  // namespace rpm::core

@@ -1,6 +1,7 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -72,6 +73,23 @@ Controller::Controller(const topo::Topology& topo,
       cfg_.tormesh_probes_per_sec <= 0.0) {
     throw std::invalid_argument("ControllerConfig: probe rates must be > 0");
   }
+  auto& reg = telemetry::registry();
+  metrics_.registrations = reg.counter("rpm_controller_registrations_total",
+                                       "Agent (re)registrations processed");
+  const char* kinds[2] = {"tor-mesh", "inter-tor"};
+  for (int k = 0; k < 2; ++k) {
+    metrics_.pinglist_requests[k] =
+        reg.counter("rpm_controller_pinglist_requests_total",
+                    "Pinglists served to Agents", {{"kind", kinds[k]}});
+    metrics_.pinglist_entries[k] =
+        reg.histogram("rpm_controller_pinglist_entries",
+                      "Entries per generated pinglist", {{"kind", kinds[k]}});
+  }
+  metrics_.plan_build_ns = reg.histogram(
+      "rpm_controller_plan_build_ns",
+      "Wall-clock cost of Equation-1 inter-ToR planning");
+  metrics_.rotations = reg.counter("rpm_controller_rotations_total",
+                                   "Inter-ToR tuple rotations executed");
   build_intertor_plan();
 }
 
@@ -84,6 +102,7 @@ void Controller::register_agent(HostId host,
     }
     registry_[info.rnic.value] = info;
   }
+  metrics_.registrations.inc();
 }
 
 std::optional<RnicCommInfo> Controller::comm_info(RnicId rnic) const {
@@ -123,6 +142,9 @@ Pinglist Controller::tormesh_pinglist(RnicId rnic) const {
   // One probe every 1/rate seconds, cycling over targets (§5: 10 pps).
   out.probe_interval =
       static_cast<TimeNs>(1e9 / cfg_.tormesh_probes_per_sec);
+  metrics_.pinglist_requests[0].inc();
+  metrics_.pinglist_entries[0].observe(
+      static_cast<double>(out.entries.size()));
   return out;
 }
 
@@ -152,6 +174,7 @@ Controller::InterTorTuple Controller::make_tuple(SwitchId tor, Rng& rng) {
 }
 
 void Controller::build_intertor_plan() {
+  const auto t0 = std::chrono::steady_clock::now();
   const auto& tors = topo_.tor_switches();
   if (tors.size() < 2) return;  // single-ToR cluster: nothing to plan
   for (SwitchId tor : tors) {
@@ -176,6 +199,10 @@ void Controller::build_intertor_plan() {
         static_cast<TimeNs>(1e9 / std::max(0.1, per_tuple_hz));
     plans_[tor.value] = std::move(plan);
   }
+  metrics_.plan_build_ns.observe(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
 }
 
 Pinglist Controller::intertor_pinglist(RnicId rnic) const {
@@ -204,10 +231,14 @@ Pinglist Controller::intertor_pinglist(RnicId rnic) const {
       1, out.entries.size()));
   out.probe_interval = std::max<TimeNs>(usec(100),
                                         plan.per_tuple_interval / n);
+  metrics_.pinglist_requests[1].inc();
+  metrics_.pinglist_entries[1].observe(
+      static_cast<double>(out.entries.size()));
   return out;
 }
 
 void Controller::rotate_intertor_tuples() {
+  metrics_.rotations.inc();
   for (auto& [tor_value, plan] : plans_) {
     const auto n = static_cast<std::size_t>(std::ceil(
         cfg_.rotate_fraction * static_cast<double>(plan.tuples.size())));

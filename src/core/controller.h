@@ -22,6 +22,7 @@
 #include "common/rng.h"
 #include "core/types.h"
 #include "routing/ecmp.h"
+#include "telemetry/metrics.h"
 #include "topo/topology.h"
 
 namespace rpm::core {
@@ -103,6 +104,16 @@ class Controller {
   };
   std::unordered_map<std::uint32_t, TorPlan> plans_;  // by tor switch id
   std::uint16_t next_port_ = 0;
+
+  // Self-observability: pinglist generation volume and cost.
+  struct Metrics {
+    telemetry::Counter registrations;
+    telemetry::Counter pinglist_requests[2];   // {tor-mesh, inter-tor}
+    telemetry::Histogram pinglist_entries[2];  // entries per generated list
+    telemetry::Histogram plan_build_ns;        // Equation-1 planning (wall)
+    telemetry::Counter rotations;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace rpm::core

@@ -45,6 +45,66 @@ Fabric::Fabric(const topo::Topology& topo, const routing::EcmpRouter& router,
   if (cfg_.ecn_kmin >= cfg_.ecn_kmax || cfg_.ecn_kmax > cfg_.buffer_bytes) {
     throw std::invalid_argument("FabricConfig: require kmin < kmax <= buffer");
   }
+  init_metrics();
+}
+
+void Fabric::init_metrics() {
+  auto& reg = telemetry::registry();
+  sends_total_ = reg.counter("rpm_fabric_sends_total",
+                             "Datagrams injected into the packet plane");
+  delivered_total_ = reg.counter("rpm_fabric_delivered_total",
+                                 "Datagrams delivered to a destination RNIC");
+  fluid_steps_total_ = reg.counter("rpm_fabric_fluid_steps_total",
+                                   "Fluid-plane integration steps executed");
+  for (std::uint8_t r = 0; r < 7; ++r) {
+    drops_total_[r] = reg.counter(
+        "rpm_fabric_drops_total", "Datagram drops by reason",
+        {{"reason", drop_reason_name(static_cast<DropReason>(r))}});
+  }
+  link_collector_ = telemetry::CollectorGuard(
+      reg, [this](telemetry::MetricsRegistry& r) { collect_link_metrics(r); });
+}
+
+void Fabric::count_drop(DropReason r) {
+  drops_total_[static_cast<std::uint8_t>(r)].inc();
+}
+
+void Fabric::collect_link_metrics(telemetry::MetricsRegistry& reg) {
+  // Per-link series are materialized lazily and only for links that have
+  // ever queued, paused, or dropped — a healthy idle fabric contributes no
+  // per-link series, which keeps snapshots readable on big topologies.
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const LinkState& s = links_[i];
+    const std::uint64_t drops = s.drops_corrupt + s.drops_overflow +
+                                s.drops_down;
+    if (s.queue_bytes == 0 && drops == 0 && s.pfc_pause_events == 0 &&
+        !s.pfc_paused) {
+      continue;
+    }
+    const std::string& link = topo_.link(LinkId{
+        static_cast<std::uint32_t>(i)}).name;
+    reg.gauge("rpm_link_queue_bytes", "Current per-link queue depth",
+              {{"link", link}})
+        .set(static_cast<double>(s.queue_bytes));
+    reg.gauge("rpm_link_ecn_mark_prob",
+              "Current ECN marking probability on the link", {{"link", link}})
+        .set(ecn_mark_prob(s));
+    reg.gauge("rpm_link_pfc_paused", "1 while the link asserts PFC PAUSE",
+              {{"link", link}})
+        .set(s.pfc_paused ? 1.0 : 0.0);
+    reg.counter("rpm_link_pfc_pause_total", "PFC PAUSE events on the link",
+                {{"link", link}})
+        .set(s.pfc_pause_events);
+    reg.counter("rpm_link_drops_total", "Per-link packet drops by cause",
+                {{"link", link}, {"cause", "down"}})
+        .set(s.drops_down);
+    reg.counter("rpm_link_drops_total", "Per-link packet drops by cause",
+                {{"link", link}, {"cause", "corrupt"}})
+        .set(s.drops_corrupt);
+    reg.counter("rpm_link_drops_total", "Per-link packet drops by cause",
+                {{"link", link}, {"cause", "overflow"}})
+        .set(s.drops_overflow);
+  }
 }
 
 void Fabric::set_delivery_handler(RnicId rnic, DeliveryFn fn) {
@@ -118,6 +178,7 @@ routing::Path Fabric::current_path(RnicId src, RnicId dst,
 }
 
 SendOutcome Fabric::send(const Datagram& dgram) {
+  sends_total_.inc();
   SendOutcome out;
   out.path = current_path(dgram.src, dgram.dst, dgram.tuple);
 
@@ -139,6 +200,7 @@ SendOutcome Fabric::send(const Datagram& dgram) {
       }
     }
     links_[out.drop_link.value].drops_down++;
+    count_drop(out.drop);
     return out;
   }
 
@@ -161,18 +223,21 @@ SendOutcome Fabric::send(const Datagram& dgram) {
       out.drop = DropReason::kLinkDown;
       out.drop_link = lid;
       s.drops_down++;
+      count_drop(out.drop);
       return out;
     }
     if (s.deadlocked && roce_class) {
       out.drop = DropReason::kPfcDeadlock;
       out.drop_link = lid;
       s.drops_down++;
+      count_drop(out.drop);
       return out;
     }
     if (s.corrupt_prob > 0.0 && rng_.chance(s.corrupt_prob)) {
       out.drop = DropReason::kCorruption;
       out.drop_link = lid;
       s.drops_corrupt++;
+      count_drop(out.drop);
       return out;
     }
     if (roce_class && s.overflow_drop_frac > 0.0 &&
@@ -180,6 +245,7 @@ SendOutcome Fabric::send(const Datagram& dgram) {
       out.drop = DropReason::kBufferOverflow;
       out.drop_link = lid;
       s.drops_overflow++;
+      count_drop(out.drop);
       return out;
     }
 
@@ -195,6 +261,7 @@ SendOutcome Fabric::send(const Datagram& dgram) {
       if (!acl_[sw.value].empty() && acl_denies(sw, dgram.tuple)) {
         out.drop = DropReason::kAclDeny;
         out.drop_switch = sw;
+        count_drop(out.drop);
         return out;
       }
     }
@@ -202,6 +269,7 @@ SendOutcome Fabric::send(const Datagram& dgram) {
 
   out.delivered = true;
   out.latency = latency;
+  delivered_total_.inc();
   if (DeliveryFn& handler = delivery_[dgram.dst.value]; handler) {
     // Copy the datagram into the event; the caller's object may not outlive
     // the flight time.
@@ -261,6 +329,7 @@ void Fabric::start(TimeNs first_delay) { step_task_.start(first_delay); }
 void Fabric::stop() { step_task_.cancel(); }
 
 void Fabric::step_once() {
+  fluid_steps_total_.inc();
   const double ds = to_seconds(cfg_.step_interval);
 
   // 1. Refresh stale flow paths (topology changed since last resolve).

@@ -33,6 +33,7 @@
 #include "common/types.h"
 #include "routing/ecmp.h"
 #include "sim/scheduler.h"
+#include "telemetry/metrics.h"
 #include "topo/topology.h"
 
 namespace rpm::fabric {
@@ -242,6 +243,9 @@ class Fabric {
                                           const LinkState& s) const;
   [[nodiscard]] double ecn_mark_prob(const LinkState& s) const;
   bool acl_denies(SwitchId sw, const FiveTuple& t) const;
+  void init_metrics();
+  void count_drop(DropReason r);
+  void collect_link_metrics(telemetry::MetricsRegistry& reg);
 
   const topo::Topology& topo_;
   const routing::EcmpRouter& router_;
@@ -263,6 +267,13 @@ class Fabric {
   // scratch buffers reused across steps
   std::vector<double> offered_;   // per link
   std::vector<double> drop_frac_; // per link
+
+  // self-observability (handles cached at construction; inc() on hot paths)
+  telemetry::Counter sends_total_;
+  telemetry::Counter delivered_total_;
+  telemetry::Counter fluid_steps_total_;
+  telemetry::Counter drops_total_[7];  // indexed by DropReason
+  telemetry::CollectorGuard link_collector_;  // last: detached before members
 };
 
 }  // namespace rpm::fabric

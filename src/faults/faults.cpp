@@ -3,6 +3,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace rpm::faults {
 
 const char* fault_kind_name(FaultKind k) {
@@ -97,6 +100,11 @@ int FaultInjector::register_fault(FaultRecord rec,
                                   std::unique_ptr<sim::PeriodicTask> flapper) {
   rec.handle = next_handle_++;
   rec.active = true;
+  telemetry::registry()
+      .counter("rpm_faults_injected_total", "Fault injections by kind",
+               {{"kind", fault_kind_name(rec.kind)}})
+      .inc();
+  telemetry::tracer().instant(fault_kind_name(rec.kind), "fault.inject");
   Active a;
   a.rec = rec;
   a.flapper = std::move(flapper);
@@ -301,6 +309,12 @@ void FaultInjector::clear(int handle) {
   auto it = active_.find(handle);
   if (it == active_.end()) return;
   if (it->second.flapper) it->second.flapper->cancel();
+  telemetry::registry()
+      .counter("rpm_faults_cleared_total", "Fault reverts by kind",
+               {{"kind", fault_kind_name(it->second.rec.kind)}})
+      .inc();
+  telemetry::tracer().instant(fault_kind_name(it->second.rec.kind),
+                              "fault.clear");
   it->second.revert();
   active_.erase(it);
 }

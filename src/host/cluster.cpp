@@ -20,6 +20,17 @@ Cluster::Cluster(topo::Topology topology, ClusterConfig cfg)
         r.id, fabric_, sched_, sim::DeviceClock::random(rng_), rng_.fork(),
         cfg.rnic));
   }
+  // Event-loop throughput: mirrored into the registry at snapshot time so
+  // the scheduler's hot loop stays untouched.
+  sched_collector_ = telemetry::CollectorGuard(
+      telemetry::registry(), [this](telemetry::MetricsRegistry& reg) {
+        reg.gauge("rpm_sim_executed_events", "Events executed by the scheduler")
+            .set(static_cast<double>(sched_.executed_events()));
+        reg.gauge("rpm_sim_pending_events", "Events currently queued")
+            .set(static_cast<double>(sched_.pending_events()));
+        reg.gauge("rpm_sim_now_seconds", "Current simulated time")
+            .set(to_seconds(sched_.now()));
+      });
 }
 
 void Cluster::run_for(TimeNs duration) {

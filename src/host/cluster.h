@@ -13,6 +13,7 @@
 #include "rnic/rnic.h"
 #include "routing/ecmp.h"
 #include "sim/scheduler.h"
+#include "telemetry/metrics.h"
 #include "topo/topology.h"
 #include "verbs/verbs.h"
 
@@ -74,6 +75,7 @@ class Cluster {
   std::vector<std::unique_ptr<HostModel>> hosts_;
   std::vector<std::unique_ptr<rnic::RnicDevice>> rnics_;
   bool started_ = false;
+  telemetry::CollectorGuard sched_collector_;  // event-loop gauges
 };
 
 }  // namespace rpm::host

@@ -1,0 +1,169 @@
+#include "telemetry/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace rpm::telemetry {
+
+namespace {
+
+std::int64_t wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Tracer::enable(ClockFn clock) {
+  clock_ = std::move(clock);
+  enabled_ = true;
+}
+
+void Tracer::disable() {
+  enabled_ = false;
+  clock_ = {};
+  stack_.clear();
+}
+
+TimeNs Tracer::now() const { return clock_ ? clock_() : wall_ns(); }
+
+void Tracer::push(Event e) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(e));
+}
+
+std::uint64_t Tracer::begin_span(std::string name, std::string category) {
+  if (!enabled_) return 0;
+  OpenSpan s;
+  s.token = next_token_++;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.ts = now();
+  s.wall_begin_ns = wall_ns();
+  s.depth = static_cast<int>(stack_.size());
+  stack_.push_back(std::move(s));
+  return stack_.back().token;
+}
+
+void Tracer::end_span(std::uint64_t token) {
+  if (token == 0 || stack_.empty()) return;
+  // Pop (and emit) until the matching span is closed; deeper spans whose
+  // end_span was skipped (early return, exception) are closed here too.
+  while (!stack_.empty()) {
+    OpenSpan s = std::move(stack_.back());
+    stack_.pop_back();
+    Event e;
+    e.ph = 'X';
+    e.name = std::move(s.name);
+    e.category = std::move(s.category);
+    e.ts = s.ts;
+    e.dur = wall_ns() - s.wall_begin_ns;
+    e.id = 0;
+    e.tid = s.depth;
+    push(std::move(e));
+    if (s.token == token) break;
+  }
+}
+
+void Tracer::async_begin(std::string name, std::string category,
+                         std::uint64_t id) {
+  if (!enabled_) return;
+  Event e;
+  e.ph = 'b';
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.ts = now();
+  e.dur = 0;
+  e.id = id;
+  e.tid = 0;
+  push(std::move(e));
+}
+
+void Tracer::async_end(std::string name, std::string category,
+                       std::uint64_t id) {
+  if (!enabled_) return;
+  Event e;
+  e.ph = 'e';
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.ts = now();
+  e.dur = 0;
+  e.id = id;
+  e.tid = 0;
+  push(std::move(e));
+}
+
+void Tracer::instant(std::string name, std::string category) {
+  if (!enabled_) return;
+  Event e;
+  e.ph = 'i';
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.ts = now();
+  e.dur = 0;
+  e.id = 0;
+  e.tid = 0;
+  push(std::move(e));
+}
+
+std::string Tracer::chrome_json() const {
+  // Trace Event Format: ts/dur are in microseconds (fractions allowed).
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (const Event& e : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, e.name);
+    out += ",\"cat\":";
+    append_json_string(out, e.category.empty() ? "default" : e.category);
+    out += ",\"ph\":\"";
+    out += e.ph;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f",
+                  static_cast<double>(e.ts) / 1e3);
+    out += buf;
+    if (e.ph == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f",
+                    static_cast<double>(e.dur) / 1e3);
+      out += buf;
+    }
+    if (e.ph == 'b' || e.ph == 'e') {
+      out += ",\"id\":\"" + std::to_string(e.id) + '"';
+    }
+    if (e.ph == 'i') {
+      out += ",\"s\":\"g\"";  // global-scope instant marker
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+void Tracer::clear() {
+  events_.clear();
+  stack_.clear();
+  dropped_ = 0;
+}
+
+Tracer& tracer() {
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+}  // namespace rpm::telemetry

@@ -1,0 +1,122 @@
+// Lightweight trace spans rendered as chrome://tracing ("Trace Event
+// Format") JSON, keyed to *simulated* time.
+//
+// Two span flavours:
+//
+//  * Nested spans — begin_span()/end_span() or the RAII ScopedSpan — model a
+//    call stack (e.g. the Analyzer's per-stage pipeline). They emit complete
+//    ("X") events whose `tid` is the nesting depth. Because a whole Analyzer
+//    period executes at one simulated instant, a nested span also records
+//    its *wall-clock* cost in `dur` (chrome shows where real CPU time went,
+//    positioned at the simulated moment it happened).
+//
+//  * Async spans — async_begin()/async_end() keyed by (name, id) — model
+//    overlapping intervals like probe round-trips or fault-injection
+//    episodes. They emit "b"/"e" events and their duration is simulated
+//    time, which is what a probe's flight time means.
+//
+// The tracer is disabled by default; every record call is a single branch
+// when off, so instrumentation can stay compiled into hot paths. The event
+// buffer is bounded (drops are counted) so a forgotten tracer cannot eat
+// the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rpm::telemetry {
+
+class Tracer {
+ public:
+  /// Returns current simulated (or otherwise monotonic) time.
+  using ClockFn = std::function<TimeNs()>;
+
+  /// Enable recording. Without a clock, spans are stamped with an internal
+  /// monotonic wall clock (ns since first use).
+  void enable(ClockFn clock = {});
+  void disable();
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  // ---- nested (stack) spans ----
+
+  /// Opens a span; returns a token for end_span. Token 0 = not recording.
+  std::uint64_t begin_span(std::string name, std::string category);
+  void end_span(std::uint64_t token);
+
+  // ---- async (overlapping) spans ----
+
+  void async_begin(std::string name, std::string category, std::uint64_t id);
+  void async_end(std::string name, std::string category, std::uint64_t id);
+
+  /// Zero-duration marker (fault injected, Agent restarted, ...).
+  void instant(std::string name, std::string category);
+
+  // ---- output ----
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"} — loadable by
+  /// chrome://tracing and Perfetto.
+  [[nodiscard]] std::string chrome_json() const;
+
+  void clear();
+  [[nodiscard]] std::size_t num_events() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t dropped_events() const { return dropped_; }
+
+  /// Cap on buffered events (default 1M); beyond it events are counted as
+  /// dropped instead of stored.
+  void set_max_events(std::size_t n) { max_events_ = n; }
+
+ private:
+  struct Event {
+    char ph;  // 'X' complete, 'b'/'e' async, 'i' instant
+    std::string name;
+    std::string category;
+    TimeNs ts;
+    TimeNs dur;        // X only (wall ns)
+    std::uint64_t id;  // async only
+    int tid;
+  };
+  struct OpenSpan {
+    std::uint64_t token;
+    std::string name;
+    std::string category;
+    TimeNs ts;
+    std::int64_t wall_begin_ns;
+    int depth;
+  };
+
+  [[nodiscard]] TimeNs now() const;
+  void push(Event e);
+
+  bool enabled_ = false;
+  ClockFn clock_;
+  std::vector<Event> events_;
+  std::vector<OpenSpan> stack_;
+  std::uint64_t next_token_ = 1;
+  std::uint64_t dropped_ = 0;
+  std::size_t max_events_ = 1 << 20;
+};
+
+/// The process-wide default tracer used by built-in instrumentation.
+Tracer& tracer();
+
+/// RAII nested span on the default (or a given) tracer.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string name, std::string category,
+             Tracer& t = telemetry::tracer())
+      : tracer_(&t),
+        token_(t.begin_span(std::move(name), std::move(category))) {}
+  ~ScopedSpan() { tracer_->end_span(token_); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  std::uint64_t token_;
+};
+
+}  // namespace rpm::telemetry

@@ -4,6 +4,8 @@
 
 #include "core/rpingmesh.h"
 #include "faults/faults.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
 #include "traffic/dml.h"
 
 namespace rpm::core {
@@ -277,6 +279,42 @@ TEST(RPingmeshE2E, GidMissingMakesRnicUnreachable) {
   const Problem* p = find_problem(*rep, ProblemCategory::kRnicProblem);
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(p->rnic, RnicId{6});
+}
+
+TEST(RPingmeshE2E, FullRunExportsNonZeroTelemetry) {
+  // Reset the process-wide registry so counts are attributable to this run.
+  // Safe here: no Deployment (and thus no cached metric handle) is alive.
+  telemetry::registry().reset();
+  Deployment d;
+  d.cluster.run_for(sec(25));
+  faults::FaultInjector inj(d.cluster);
+  inj.inject_rnic_down(RnicId{5});
+  d.cluster.run_for(sec(21));
+
+  const telemetry::Snapshot snap = telemetry::registry().snapshot();
+  // Agent probing activity across all hosts and probe kinds.
+  EXPECT_GT(snap.sum("rpm_agent_probes_sent_total"), 0.0);
+  EXPECT_GT(snap.sum("rpm_agent_probes_completed_total"), 0.0);
+  EXPECT_GT(snap.sum("rpm_agent_probe_timeouts_total"), 0.0);
+  EXPECT_GT(snap.sum("rpm_agent_upload_records_total"), 0.0);
+  // Analyzer ran periods and attributed the injected fault to a problem.
+  EXPECT_GT(snap.sum("rpm_analyzer_periods_total"), 0.0);
+  EXPECT_GT(snap.sum("rpm_analyzer_records_total"), 0.0);
+  EXPECT_GT(snap.sum("rpm_analyzer_problems_total"), 0.0);
+  EXPECT_GT(
+      snap.sum("rpm_analyzer_timeouts_total", {{"cause", "rnic-problem"}}),
+      0.0);
+  // Controller served pinglists; fabric moved packets; faults were recorded.
+  EXPECT_GT(snap.sum("rpm_controller_pinglist_requests_total"), 0.0);
+  EXPECT_GT(snap.sum("rpm_fabric_delivered_total"), 0.0);
+  EXPECT_GT(snap.sum("rpm_faults_injected_total",
+                     {{"kind", "rnic-down"}}),
+            0.0);
+  // And the rendered exposition carries the headline families.
+  const std::string text = telemetry::to_prometheus(snap);
+  EXPECT_NE(text.find("rpm_agent_network_rtt_ns"), std::string::npos);
+  EXPECT_NE(text.find("rpm_analyzer_stage_ns"), std::string::npos);
+  EXPECT_NE(text.find("rpm_sim_executed_events"), std::string::npos);
 }
 
 TEST(RPingmeshE2E, AgentOverheadScalesWithProbeRate) {

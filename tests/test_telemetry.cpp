@@ -1,0 +1,337 @@
+// Tests for the self-observability subsystem: MetricsRegistry lifecycle,
+// label deduplication, histogram percentiles, deterministic Prometheus/JSON
+// golden output, the PeriodicDumper scrape loop, and trace-span nesting.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace rpm::telemetry {
+namespace {
+
+// ---- registry lifecycle ----
+
+TEST(MetricsRegistry, CounterRoundTrip) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("t_events_total", "events");
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(reg.num_series(), 1u);
+}
+
+TEST(MetricsRegistry, DefaultHandlesAreInertNotCrashy) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  EXPECT_FALSE(c.valid());
+  c.inc();
+  g.set(1.0);
+  h.observe(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsRegistry, ResetDropsEverything) {
+  MetricsRegistry reg;
+  reg.counter("t_a_total", "a").inc();
+  reg.gauge("t_b", "b").set(1);
+  const int id = reg.add_collector([](MetricsRegistry&) {});
+  (void)id;
+  EXPECT_EQ(reg.num_series(), 2u);
+  EXPECT_EQ(reg.num_collectors(), 1u);
+  reg.reset();
+  EXPECT_EQ(reg.num_series(), 0u);
+  EXPECT_EQ(reg.num_collectors(), 0u);
+}
+
+TEST(MetricsRegistry, EmptyNameThrows) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter("", "x"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, TypeMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("t_thing", "x");
+  EXPECT_THROW(reg.gauge("t_thing", "x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("t_thing", "x"), std::invalid_argument);
+}
+
+// ---- label dedup ----
+
+TEST(MetricsRegistry, SameLabelsDifferentOrderShareOneSeries) {
+  MetricsRegistry reg;
+  Counter a =
+      reg.counter("t_req_total", "req", {{"host", "3"}, {"kind", "mesh"}});
+  Counter b =
+      reg.counter("t_req_total", "req", {{"kind", "mesh"}, {"host", "3"}});
+  a.inc();
+  b.inc();
+  EXPECT_EQ(a.value(), 2u);
+  EXPECT_EQ(b.value(), 2u);
+  EXPECT_EQ(reg.num_series(), 1u);
+}
+
+TEST(MetricsRegistry, DistinctLabelValuesGetDistinctSeries) {
+  MetricsRegistry reg;
+  reg.counter("t_req_total", "req", {{"host", "0"}}).inc(1);
+  reg.counter("t_req_total", "req", {{"host", "1"}}).inc(2);
+  EXPECT_EQ(reg.num_series(), 2u);
+  const Snapshot snap = reg.snapshot();
+  const SeriesSample* s0 = snap.find("t_req_total", {{"host", "0"}});
+  const SeriesSample* s1 = snap.find("t_req_total", {{"host", "1"}});
+  ASSERT_NE(s0, nullptr);
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s0->counter_value, 1u);
+  EXPECT_EQ(s1->counter_value, 2u);
+  EXPECT_DOUBLE_EQ(snap.sum("t_req_total"), 3.0);
+  EXPECT_DOUBLE_EQ(snap.sum("t_req_total", {{"host", "1"}}), 2.0);
+}
+
+// ---- histogram percentiles ----
+
+TEST(MetricsRegistry, HistogramPercentilesTrackDistribution) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("t_rtt_ns", "rtt");
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.sum(), 500'500.0);
+  // LogHistogram buckets are ~4% wide; allow 10%.
+  EXPECT_NEAR(h.percentile(0.50), 500.0, 50.0);
+  EXPECT_NEAR(h.percentile(0.99), 990.0, 99.0);
+  const Snapshot snap = reg.snapshot();
+  const SeriesSample* s = snap.find("t_rtt_ns");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->hist_count, 1000u);
+  EXPECT_NEAR(s->hist_p50, 500.0, 50.0);
+  EXPECT_GE(s->hist_p999, s->hist_p50);
+}
+
+// ---- collectors ----
+
+TEST(MetricsRegistry, CollectorRunsAtSnapshotTime) {
+  MetricsRegistry reg;
+  int calls = 0;
+  {
+    CollectorGuard guard(reg, [&calls](MetricsRegistry& r) {
+      ++calls;
+      r.gauge("t_depth", "depth").set(7.0);
+    });
+    EXPECT_EQ(reg.num_collectors(), 1u);
+    const Snapshot snap = reg.snapshot();
+    EXPECT_EQ(calls, 1);
+    const SeriesSample* s = snap.find("t_depth");
+    ASSERT_NE(s, nullptr);
+    EXPECT_DOUBLE_EQ(s->gauge_value, 7.0);
+  }
+  // Guard out of scope: unregistered, further snapshots don't call it.
+  EXPECT_EQ(reg.num_collectors(), 0u);
+  (void)reg.snapshot();
+  EXPECT_EQ(calls, 1);
+}
+
+// ---- golden exporter output ----
+
+MetricsRegistry& golden_registry(MetricsRegistry& reg) {
+  reg.counter("t_requests_total", "Requests handled",
+              {{"kind", "b"}, {"host", "0"}})
+      .inc(3);
+  reg.counter("t_requests_total", "Requests handled",
+              {{"host", "1"}, {"kind", "a"}})
+      .inc(7);
+  reg.gauge("t_queue_depth", "Current queue depth").set(2.5);
+  return reg;
+}
+
+TEST(Export, PrometheusGolden) {
+  MetricsRegistry reg;
+  const std::string text = to_prometheus(golden_registry(reg).snapshot());
+  EXPECT_EQ(text,
+            "# HELP t_queue_depth Current queue depth\n"
+            "# TYPE t_queue_depth gauge\n"
+            "t_queue_depth 2.5\n"
+            "# HELP t_requests_total Requests handled\n"
+            "# TYPE t_requests_total counter\n"
+            "t_requests_total{host=\"0\",kind=\"b\"} 3\n"
+            "t_requests_total{host=\"1\",kind=\"a\"} 7\n");
+}
+
+TEST(Export, JsonGolden) {
+  MetricsRegistry reg;
+  const std::string text = to_json(golden_registry(reg).snapshot());
+  EXPECT_EQ(
+      text,
+      "{\"metrics\":["
+      "{\"name\":\"t_queue_depth\",\"type\":\"gauge\",\"labels\":{},"
+      "\"value\":2.5},"
+      "{\"name\":\"t_requests_total\",\"type\":\"counter\","
+      "\"labels\":{\"host\":\"0\",\"kind\":\"b\"},\"value\":3},"
+      "{\"name\":\"t_requests_total\",\"type\":\"counter\","
+      "\"labels\":{\"host\":\"1\",\"kind\":\"a\"},\"value\":7}"
+      "]}");
+}
+
+TEST(Export, HistogramRendersAsSummary) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("t_lat_ns", "latency", {{"stage", "classify"}});
+  for (int i = 0; i < 100; ++i) h.observe(1000.0);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE t_lat_ns summary\n"), std::string::npos);
+  EXPECT_NE(text.find("t_lat_ns{stage=\"classify\",quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("t_lat_ns{stage=\"classify\",quantile=\"0.999\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("t_lat_ns_sum{stage=\"classify\"} 100000\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("t_lat_ns_count{stage=\"classify\"} 100\n"),
+            std::string::npos);
+}
+
+TEST(Export, DeterministicAcrossIdenticalRegistries) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  EXPECT_EQ(to_prometheus(golden_registry(a).snapshot()),
+            to_prometheus(golden_registry(b).snapshot()));
+  EXPECT_EQ(to_json(a.snapshot()), to_json(b.snapshot()));
+}
+
+// ---- periodic dumper on the sim clock ----
+
+TEST(Export, PeriodicDumperFollowsSimClock) {
+  sim::EventScheduler sched;
+  MetricsRegistry reg;
+  Counter ticks = reg.counter("t_ticks_total", "ticks");
+  std::vector<std::string> dumps;
+  PeriodicDumper dumper(
+      sched, sec(1), [&dumps](const std::string& text) {
+        dumps.push_back(text);
+      },
+      ExportFormat::kPrometheus, &reg);
+  dumper.start(sec(1));
+  ticks.inc(5);
+  sched.run_until(sec(3));
+  EXPECT_EQ(dumper.dumps(), 3u);
+  ASSERT_EQ(dumps.size(), 3u);
+  EXPECT_NE(dumps.back().find("t_ticks_total 5\n"), std::string::npos);
+  dumper.stop();
+  sched.run_until(sec(10));
+  EXPECT_EQ(dumper.dumps(), 3u);
+}
+
+// ---- trace spans ----
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.begin_span("x", "c"), 0u);
+  t.end_span(0);
+  t.instant("x", "c");
+  t.async_begin("x", "c", 1);
+  EXPECT_EQ(t.num_events(), 0u);
+}
+
+TEST(Tracer, NestedSpansEmitCompleteEventsWithDepth) {
+  Tracer t;
+  TimeNs sim_now = 0;
+  t.enable([&sim_now] { return sim_now; });
+  sim_now = usec(10);
+  const auto outer = t.begin_span("period", "analyzer");
+  const auto inner = t.begin_span("classify", "analyzer");
+  ASSERT_NE(outer, 0u);
+  ASSERT_NE(inner, 0u);
+  t.end_span(inner);
+  t.end_span(outer);
+  EXPECT_EQ(t.num_events(), 2u);
+  const std::string json = t.chrome_json();
+  // Inner span ends first and sits at depth 1; outer at depth 0.
+  EXPECT_NE(json.find("\"name\":\"classify\",\"cat\":\"analyzer\","
+                      "\"ph\":\"X\",\"pid\":1,\"tid\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"period\",\"cat\":\"analyzer\","
+                      "\"ph\":\"X\",\"pid\":1,\"tid\":0"),
+            std::string::npos);
+  // ts is simulated microseconds: 10us.
+  EXPECT_NE(json.find("\"ts\":10.000"), std::string::npos);
+}
+
+TEST(Tracer, EndingOuterSpanClosesAbandonedInnerSpans) {
+  Tracer t;
+  t.enable([] { return TimeNs{0}; });
+  const auto outer = t.begin_span("outer", "c");
+  (void)t.begin_span("inner", "c");  // never explicitly ended
+  t.end_span(outer);
+  EXPECT_EQ(t.num_events(), 2u);  // both emitted
+}
+
+TEST(Tracer, AsyncSpansCarryIdAndSimDuration) {
+  Tracer t;
+  TimeNs sim_now = 0;
+  t.enable([&sim_now] { return sim_now; });
+  t.async_begin("probe", "tormesh", 42);
+  sim_now = usec(5);
+  t.async_end("probe", "tormesh", 42);
+  const std::string json = t.chrome_json();
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"42\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":5.000"), std::string::npos);
+}
+
+TEST(Tracer, ChromeJsonIsStructurallyBalanced) {
+  Tracer t;
+  t.enable([] { return TimeNs{0}; });
+  const auto s = t.begin_span("a\"quoted\"", "c\\slash");
+  t.instant("marker", "fault");
+  t.end_span(s);
+  const std::string json = t.chrome_json();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"g\""), std::string::npos);
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+    } else if (c == '"') {
+      in_string = !in_string;
+    } else if (!in_string && (c == '{' || c == '[')) {
+      ++depth;
+    } else if (!in_string && (c == '}' || c == ']')) {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Tracer, BoundedBufferCountsDrops) {
+  Tracer t;
+  t.enable([] { return TimeNs{0}; });
+  t.set_max_events(2);
+  t.instant("a", "c");
+  t.instant("b", "c");
+  t.instant("c", "c");
+  EXPECT_EQ(t.num_events(), 2u);
+  EXPECT_EQ(t.dropped_events(), 1u);
+  t.clear();
+  EXPECT_EQ(t.num_events(), 0u);
+  EXPECT_EQ(t.dropped_events(), 0u);
+}
+
+}  // namespace
+}  // namespace rpm::telemetry
