@@ -2,6 +2,8 @@
 // and the R-Pingmesh pipeline: 5-tuple hashing, ECMP resolution, fabric
 // fluid steps, packet sends, a full Analyzer period, and the telemetry
 // primitives sprinkled through all of the above.
+#include <any>
+
 #include <benchmark/benchmark.h>
 
 #include "core/analyzer.h"
@@ -12,6 +14,7 @@
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
 #include "topo/topology.h"
+#include "transport/transport.h"
 
 namespace rpm {
 namespace {
@@ -149,6 +152,69 @@ void BM_AnalyzerPeriod(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n_records);
 }
 BENCHMARK(BM_AnalyzerPeriod)->Arg(10000)->Arg(50000);
+
+// Full per-message cost of the control-plane transport on a clean channel:
+// send + scheduled delivery + handler + ack + (no-op) retry timer — the
+// events every Agent upload and Controller RPC pays.
+void BM_TransportSendDeliver(benchmark::State& state) {
+  sim::EventScheduler sched;
+  transport::ControlPlane cp(sched, Rng(9));
+  std::uint64_t delivered = 0;
+  transport::Channel& ch = cp.make_channel(
+      "bench.ch",
+      [&](std::uint64_t, std::any&) { ++delivered; });
+  for (auto _ : state) {
+    ch.send(std::any(std::uint64_t{1}));
+    sched.run_all();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransportSendDeliver);
+
+// Sharded vs single-bucket Analyzer ingestion: range(0) buckets receiving
+// range(1) records (spread over per-host batches), merged at period close.
+void BM_AnalyzerShardedIngest(benchmark::State& state) {
+  const topo::Topology topo = topo::build_clos(bench_clos());
+  const routing::EcmpRouter router(topo);
+  sim::EventScheduler sched;
+  core::Controller ctrl(topo, router);
+  core::AnalyzerConfig cfg;
+  cfg.ingest_shards = static_cast<std::size_t>(state.range(0));
+  core::Analyzer analyzer(topo, ctrl, sched, cfg);
+
+  const auto n_records = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kBatch = 128;  // records per upload message
+  core::ProbeRecord proto;
+  proto.kind = core::ProbeKind::kTorMesh;
+  proto.prober = RnicId{0};
+  proto.target = RnicId{1};
+  proto.status = core::ProbeStatus::kOk;
+  proto.network_rtt = usec(5);
+
+  std::uint64_t seq = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<core::UploadBatch> batches;
+    for (std::size_t done = 0; done < n_records; done += kBatch) {
+      core::UploadBatch b;
+      b.host = HostId{static_cast<std::uint32_t>(
+          (done / kBatch) % topo.hosts().size())};
+      b.seq = seq++;
+      b.records.assign(std::min(kBatch, n_records - done), proto);
+      batches.push_back(std::move(b));
+    }
+    state.ResumeTiming();
+    for (core::UploadBatch& b : batches) analyzer.ingest_batch(std::move(b));
+    benchmark::DoNotOptimize(analyzer.analyze_now());  // includes the merge
+  }
+  state.SetItemsProcessed(state.iterations() * n_records);
+}
+BENCHMARK(BM_AnalyzerShardedIngest)
+    ->Args({1, 10000})
+    ->Args({8, 10000})
+    ->Args({1, 100000})
+    ->Args({8, 100000});
 
 // The instrumented hot paths above pay one of these per event; the increment
 // must stay in the low nanoseconds (one relaxed atomic add through a cached

@@ -139,6 +139,10 @@ int main() {
                         "rpm_agent_probe_timeouts_total{host=\"0\""});
   std::printf("\nanalyzer pipeline (per-stage wall cost):\n");
   print_filtered(prom, {"rpm_analyzer_stage_ns", "rpm_analyzer_periods"});
+  std::printf("\ncontrol-plane transport (uploads + RPCs, host 0):\n");
+  print_filtered(prom, {"rpm_transport_msgs_total{channel=\"upload/h0\"",
+                        "rpm_transport_msgs_total{channel=\"ctrl/h0",
+                        "rpm_analyzer_batches_total"});
   std::printf("\nfabric + per-link counters (faulted link shows drops):\n");
   print_filtered(prom, {"rpm_fabric_", "rpm_link_"});
   std::printf("\nevent loop:\n");

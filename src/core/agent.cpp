@@ -8,19 +8,19 @@
 
 namespace rpm::core {
 
-Agent::Agent(host::Cluster& cluster, HostId host, Controller& controller,
-             UploadFn upload, AgentConfig cfg)
+Agent::Agent(host::Cluster& cluster, HostId host, const Controller& directory,
+             transport::Channel& upload_ch, transport::RpcChannel& ctrl_rpc,
+             AgentConfig cfg)
     : cluster_(cluster),
       host_(host),
-      controller_(controller),
-      upload_(std::move(upload)),
+      directory_(directory),
+      upload_ch_(upload_ch),
+      ctrl_rpc_(ctrl_rpc),
       cfg_(cfg),
       rng_(cluster.fork_rng()),
       // Distinct id spaces per host so probe ids are globally unique (and
       // never collide with the small wr_ids used for ACK sends).
       next_probe_id_((static_cast<std::uint64_t>(host.value) + 1) << 40) {
-  if (!upload_) throw std::invalid_argument("Agent: upload sink required");
-
   auto& reg = telemetry::registry();
   const std::string host_label = std::to_string(host_.value);
   for (std::uint8_t k = 0; k < 3; ++k) {
@@ -73,16 +73,23 @@ void Agent::create_qps() {
 }
 
 void Agent::register_with_controller() {
-  std::vector<RnicCommInfo> infos;
+  AgentRegistration reg;
+  reg.host = host_;
   for (const RnicState& st : rnics_) {
     RnicCommInfo info;
     info.rnic = st.rnic;
     info.ip = cluster_.topology().rnic(st.rnic).ip;
     info.gid = rnic::gid_of(st.rnic);
     info.qpn = st.ud_qpn;
-    infos.push_back(info);
+    reg.rnics.push_back(info);
   }
-  controller_.register_agent(host_, infos);
+  const std::uint64_t epoch = epoch_;
+  ctrl_rpc_.call(std::any(std::move(reg)), [this, epoch](std::any&) {
+    if (!running_ || epoch != epoch_) return;
+    // Registration is on file — pull pinglists right away rather than
+    // probing nothing until the 5-minute refresh timer.
+    refresh_pinglists();
+  });
 }
 
 void Agent::attach_tracepoints() {
@@ -104,8 +111,7 @@ void Agent::start() {
   if (running_) return;
   running_ = true;
   create_qps();
-  register_with_controller();
-  refresh_pinglists();
+  register_with_controller();  // async; its response pulls pinglists
   attach_tracepoints();
 
   auto& sched = cluster_.scheduler();
@@ -137,7 +143,21 @@ void Agent::start() {
 
 void Agent::stop() {
   if (!running_) return;
+  // Flush-or-drop: measurements in the outbox must never vanish silently.
+  // A live process flushes a final batch on the way out; a dead host cannot
+  // push bytes onto the wire, so its outbox and in-flight retries are
+  // counted as transport drops (rpm_transport_msgs_total{result="dropped"}).
+  if (host_down()) {
+    if (!outbox_.empty()) {
+      upload_ch_.note_app_drop(1);
+      outbox_.clear();
+    }
+    upload_ch_.cancel_unacked();
+  } else if (!outbox_.empty()) {
+    flush_outbox();
+  }
   running_ = false;
+  ++epoch_;  // in-flight RPC responses must not apply after this point
   detach_tracepoints();
   for (RnicState& st : rnics_) {
     if (st.tormesh_task) st.tormesh_task->cancel();
@@ -149,7 +169,7 @@ void Agent::stop() {
   if (refresh_task_) refresh_task_->cancel();
   pending_.clear();
   responder_ctx_.clear();
-  outbox_.clear();
+  periods_since_flush_ = 0;
 }
 
 void Agent::restart() {
@@ -158,23 +178,49 @@ void Agent::restart() {
 }
 
 void Agent::refresh_pinglists() {
-  if (!running_ && rnics_.empty()) return;
-  for (RnicState& st : rnics_) {
-    st.tormesh = controller_.tormesh_pinglist(st.rnic);
-    st.intertor = controller_.intertor_pinglist(st.rnic);
-    st.tormesh_next = st.intertor_next = 0;
-    if (st.tormesh_task && st.tormesh.probe_interval > 0) {
-      st.tormesh_task->set_period(st.tormesh.probe_interval);
-    }
-    if (st.intertor_task && st.intertor.probe_interval > 0) {
-      st.intertor_task->set_period(st.intertor.probe_interval);
-    }
+  if (!running_ || rnics_.empty()) return;
+  PinglistPullRequest req;
+  req.host = host_;
+  req.rnics.reserve(rnics_.size());
+  for (const RnicState& st : rnics_) {
+    req.rnics.push_back(st.rnic);
     // Refresh stale comm info of service-tracing targets too (§5: the Agent
     // pulls the latest info for all targets every 5 minutes).
+    for (const auto& [qpn, entry] : st.service_by_qpn) {
+      req.comm_targets.push_back(entry.target);
+    }
+  }
+  const std::uint64_t epoch = epoch_;
+  ctrl_rpc_.call(std::any(std::move(req)), [this, epoch](std::any& rsp) {
+    if (!running_ || epoch != epoch_) return;
+    if (auto* r = std::any_cast<PinglistPullResponse>(&rsp)) {
+      apply_pinglist_response(std::move(*r));
+    }
+  });
+}
+
+void Agent::apply_pinglist_response(PinglistPullResponse rsp) {
+  std::unordered_map<std::uint32_t, RnicCommInfo> fresh;
+  fresh.reserve(rsp.comm.size());
+  for (const RnicCommInfo& c : rsp.comm) fresh.emplace(c.rnic.value, c);
+  for (RnicState& st : rnics_) {
+    for (PinglistPullResponse::PerRnic& per : rsp.rnics) {
+      if (per.rnic != st.rnic) continue;
+      st.tormesh = std::move(per.tormesh);
+      st.intertor = std::move(per.intertor);
+      st.tormesh_next = st.intertor_next = 0;
+      if (st.tormesh_task && st.tormesh.probe_interval > 0) {
+        st.tormesh_task->set_period(st.tormesh.probe_interval);
+      }
+      if (st.intertor_task && st.intertor.probe_interval > 0) {
+        st.intertor_task->set_period(st.intertor.probe_interval);
+      }
+      break;
+    }
     for (auto& [qpn, entry] : st.service_by_qpn) {
-      if (const auto info = controller_.comm_info(entry.target)) {
-        entry.target_gid = info->gid;
-        entry.target_qpn = info->qpn;
+      if (const auto it = fresh.find(entry.target.value); it != fresh.end()) {
+        entry.target_gid = it->second.gid;
+        entry.target_qpn = it->second.qpn;
       }
     }
     st.service.clear();
@@ -456,11 +502,30 @@ void Agent::finalize_timeout(std::uint64_t probe_id) {
 void Agent::upload_now() {
   if (!running_ || host_down()) return;  // a down host uploads nothing
   if (outbox_.empty()) return;
-  std::vector<ProbeRecord> batch;
-  batch.swap(outbox_);
+  ++periods_since_flush_;
+  // Batched uploads (ROADMAP): coalesce several 5 s periods (and all RNICs)
+  // into one sized batch instead of one small message per timer tick —
+  // unless the outbox is already large enough to flush early.
+  if (periods_since_flush_ < cfg_.upload_coalesce_periods &&
+      outbox_.size() < cfg_.upload_flush_records) {
+    return;
+  }
+  flush_outbox();
+}
+
+void Agent::flush_outbox() {
+  if (outbox_.empty()) return;
+  UploadBatch batch;
+  batch.host = host_;
+  batch.seq = next_batch_seq_++;
+  batch.records.swap(outbox_);
+  // Buffer reuse: pre-size the fresh outbox to what one coalesced batch
+  // held, so steady state accumulates without re-growing from zero.
+  outbox_.reserve(batch.records.size());
+  periods_since_flush_ = 0;
   metrics_.uploads.inc();
-  metrics_.upload_records.inc(batch.size());
-  upload_(host_, std::move(batch));
+  metrics_.upload_records.inc(batch.records.size());
+  upload_ch_.send(std::any(std::move(batch)));
 }
 
 void Agent::on_service_connect(const verbs::ModifyQpEvent& e) {
@@ -469,8 +534,10 @@ void Agent::on_service_connect(const verbs::ModifyQpEvent& e) {
   for (RnicState& st : rnics_) {
     if (st.rnic != e.rnic) continue;
     // Ignore our own probing QPs (they are UD and never call modify_qp, but
-    // be defensive about other monitors).
-    const auto info = controller_.comm_info_by_ip(e.tuple.dst_ip);
+    // be defensive about other monitors). The lookup hits the host-local
+    // registry replica synchronously; the tracepoint path cannot wait for a
+    // control-plane round trip.
+    const auto info = directory_.comm_info_by_ip(e.tuple.dst_ip);
     if (!info) {
       log_warn() << "agent(" << host_.value
                  << "): no comm info for service target ip";

@@ -44,6 +44,7 @@
 #include "host/cluster.h"
 #include "sim/scheduler.h"
 #include "telemetry/metrics.h"
+#include "transport/transport.h"
 
 namespace rpm::core {
 
@@ -57,12 +58,26 @@ struct AgentConfig {
   // §7.4: on fabrics that support INT, path tracing uses the data plane —
   // no switch-CPU rate limits, so traced paths are always fresh.
   bool use_int_telemetry = false;
+  // Batched uploads (ROADMAP): hold the outbox for this many upload periods
+  // before flushing one coalesced batch — unless it already holds
+  // `upload_flush_records`, which flushes immediately. Must stay small
+  // enough that coalesce_periods * upload_interval < the Analyzer's host
+  // silence threshold, or healthy hosts read as down.
+  std::uint32_t upload_coalesce_periods = 2;
+  std::size_t upload_flush_records = 8192;
 };
 
 class Agent {
  public:
-  Agent(host::Cluster& cluster, HostId host, Controller& controller,
-        UploadFn upload, AgentConfig cfg = {});
+  /// `directory` is a read-only comm-info lookup used synchronously on the
+  /// service-connect tracepoint (production: a host-local read replica of
+  /// the Controller's registry). Everything else — registration, pinglist
+  /// pulls, uploads — rides the transport: `upload_ch` carries UploadBatch
+  /// messages to the Analyzer, `ctrl_rpc` carries AgentRegistration and
+  /// PinglistPullRequest calls to the Controller.
+  Agent(host::Cluster& cluster, HostId host, const Controller& directory,
+        transport::Channel& upload_ch, transport::RpcChannel& ctrl_rpc,
+        AgentConfig cfg = {});
   ~Agent();
   Agent(const Agent&) = delete;
   Agent& operator=(const Agent&) = delete;
@@ -81,7 +96,8 @@ class Agent {
   [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] HostId host_id() const { return host_; }
 
-  /// Force an immediate pinglist refresh (normally every 5 minutes).
+  /// Trigger a pinglist pull RPC (normally every 5 minutes). The response
+  /// applies asynchronously after a control-plane round trip.
   void refresh_pinglists();
 
   /// Number of service-tracing entries currently tracked (all RNICs).
@@ -142,6 +158,8 @@ class Agent {
 
   void create_qps();
   void register_with_controller();
+  void apply_pinglist_response(PinglistPullResponse rsp);
+  void flush_outbox();
   void attach_tracepoints();
   void detach_tracepoints();
   void probe_next(std::uint32_t slot, ProbeKind kind);
@@ -159,12 +177,18 @@ class Agent {
 
   host::Cluster& cluster_;
   HostId host_;
-  Controller& controller_;
-  UploadFn upload_;
+  const Controller& directory_;
+  transport::Channel& upload_ch_;
+  transport::RpcChannel& ctrl_rpc_;
   AgentConfig cfg_;
   Rng rng_;
 
   bool running_ = false;
+  // Bumped on stop(): RPC responses in flight across a restart carry the
+  // old epoch and are discarded instead of resurrecting stale pinglists.
+  std::uint64_t epoch_ = 0;
+  std::uint64_t next_batch_seq_ = 1;  // monotone across restarts
+  std::uint32_t periods_since_flush_ = 0;
   std::vector<RnicState> rnics_;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::vector<ProbeRecord> outbox_;

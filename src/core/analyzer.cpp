@@ -28,6 +28,8 @@ Analyzer::Analyzer(const topo::Topology& topo, const Controller& controller,
   if (cfg_.period <= 0) {
     throw std::invalid_argument("AnalyzerConfig: period must be > 0");
   }
+  if (cfg_.ingest_shards == 0) cfg_.ingest_shards = 1;
+  shards_.resize(cfg_.ingest_shards);
   auto& reg = telemetry::registry();
   metrics_.periods =
       reg.counter("rpm_analyzer_periods_total", "Analysis periods executed");
@@ -35,6 +37,21 @@ Analyzer::Analyzer(const topo::Topology& topo, const Controller& controller,
                                  "Agent record batches received");
   metrics_.records = reg.counter("rpm_analyzer_records_total",
                                  "Probe records received from Agents");
+  metrics_.batches_accepted =
+      reg.counter("rpm_analyzer_batches_total",
+                  "Transport upload batches by dedup outcome",
+                  {{"result", "accepted"}});
+  metrics_.batches_duplicate =
+      reg.counter("rpm_analyzer_batches_total",
+                  "Transport upload batches by dedup outcome",
+                  {{"result", "duplicate"}});
+  metrics_.bucket_records.reserve(cfg_.ingest_shards);
+  for (std::size_t b = 0; b < cfg_.ingest_shards; ++b) {
+    metrics_.bucket_records.push_back(reg.histogram(
+        "rpm_analyzer_ingest_bucket_records",
+        "Records merged from one ingest shard at period close",
+        {{"bucket", std::to_string(b)}}));
+  }
   for (int s = 0; s < kNumStages; ++s) {
     metrics_.stage_ns[s] =
         reg.histogram("rpm_analyzer_stage_ns",
@@ -58,10 +75,34 @@ Analyzer::Analyzer(const topo::Topology& topo, const Controller& controller,
   }
 }
 
-UploadFn Analyzer::upload_sink() {
-  return [this](HostId host, std::vector<ProbeRecord> records) {
-    upload(host, std::move(records));
-  };
+void Analyzer::ingest_batch(UploadBatch batch) {
+  // Any delivery — duplicate included — proves the Agent process is alive:
+  // host-down detection keys on received uploads, and a retried batch is
+  // still an upload the host managed to get onto the wire.
+  last_upload_[batch.host.value] = sched_.now();
+  known_hosts_.insert(batch.host.value);
+  DedupState& st = batch_dedup_[batch.host.value];
+  if (st.seen.contains(batch.seq) ||
+      (st.max_seq > cfg_.dedup_window &&
+       batch.seq < st.max_seq - cfg_.dedup_window)) {
+    // Repeat delivery of a retried batch (or one so old it fell out of the
+    // window — count it as a duplicate rather than risk double-counting).
+    metrics_.batches_duplicate.inc();
+    return;
+  }
+  st.seen.insert(batch.seq);
+  if (batch.seq > st.max_seq) {
+    st.max_seq = batch.seq;
+    // Slide the window: forget seqs that can no longer arrive as fresh.
+    if (st.max_seq > cfg_.dedup_window) {
+      const std::uint64_t floor = st.max_seq - cfg_.dedup_window;
+      std::erase_if(st.seen, [floor](std::uint64_t s) { return s < floor; });
+    }
+  }
+  metrics_.batches_accepted.inc();
+  metrics_.uploads.inc();
+  metrics_.records.inc(batch.records.size());
+  ingest(batch.host, std::move(batch.records));
 }
 
 void Analyzer::upload(HostId host, std::vector<ProbeRecord> records) {
@@ -69,11 +110,37 @@ void Analyzer::upload(HostId host, std::vector<ProbeRecord> records) {
   metrics_.records.inc(records.size());
   last_upload_[host.value] = sched_.now();
   known_hosts_.insert(host.value);
+  ingest(host, std::move(records));
+}
+
+void Analyzer::ingest(HostId host, std::vector<ProbeRecord>&& records) {
   if (tap_) {
     for (const ProbeRecord& r : records) tap_(r);
   }
-  buffer_.insert(buffer_.end(), std::make_move_iterator(records.begin()),
-                 std::make_move_iterator(records.end()));
+  std::vector<ProbeRecord>& shard = shards_[host.value % shards_.size()];
+  const std::size_t needed = shard.size() + records.size();
+  if (shard.capacity() < needed) {
+    // Grow geometrically: an exact-size reserve per batch would force a
+    // reallocation on every append, quadratic over a period.
+    shard.reserve(std::max(needed, shard.capacity() * 2));
+  }
+  shard.insert(shard.end(), std::make_move_iterator(records.begin()),
+               std::make_move_iterator(records.end()));
+}
+
+std::vector<ProbeRecord> Analyzer::collect_shards() {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s.size();
+  std::vector<ProbeRecord> merged;
+  merged.reserve(total);
+  for (std::size_t b = 0; b < shards_.size(); ++b) {
+    std::vector<ProbeRecord>& s = shards_[b];
+    metrics_.bucket_records[b].observe(static_cast<double>(s.size()));
+    merged.insert(merged.end(), std::make_move_iterator(s.begin()),
+                  std::make_move_iterator(s.end()));
+    s.clear();  // keeps capacity for the next period
+  }
+  return merged;
 }
 
 void Analyzer::register_service(ServiceBinding binding) {
@@ -181,8 +248,7 @@ const PeriodReport& Analyzer::analyze_now() {
   rep.period_end = now;
   last_period_end_ = now;
 
-  std::vector<ProbeRecord> records;
-  records.swap(buffer_);
+  std::vector<ProbeRecord> records = collect_shards();
   rep.records_processed = records.size();
 
   metrics_.periods.inc();

@@ -55,6 +55,14 @@ struct AnalyzerConfig {
   double degradation_threshold = 0.5;          // metric below => severe (P0)
   bool enable_cpu_noise_filters = true;        // Fig. 6 improvements
   std::size_t history_limit = 512;
+  // Sharded ingestion (ROADMAP): uploads land in ingest_shards buckets keyed
+  // by prober host, merged only at period close — the bucket layout a
+  // multi-threaded runtime needs to ingest concurrently.
+  std::size_t ingest_shards = 8;
+  // At-least-once transport delivery means retried batches arrive twice;
+  // per host the Analyzer remembers the batch seqs inside a sliding window
+  // of this many seqs below the highest seen and drops repeats.
+  std::uint64_t dedup_window = 1024;
 };
 
 /// How the Analyzer watches a service's key performance metric (§4.3.4):
@@ -69,8 +77,13 @@ class Analyzer {
   Analyzer(const topo::Topology& topo, const Controller& controller,
            sim::EventScheduler& sched, AnalyzerConfig cfg = {});
 
-  /// The sink Agents upload to (hand this to every Agent).
-  [[nodiscard]] UploadFn upload_sink();
+  /// Transport endpoint for Agent uploads: deduplicates retried batches by
+  /// (host, seq), then ingests. Receipt of ANY batch — duplicate included —
+  /// proves the host alive (host-down logic keys on received uploads).
+  void ingest_batch(UploadBatch batch);
+
+  /// Trusted local ingestion (tests, benches, co-located producers): no
+  /// duplicate suppression, no batch seq — records go straight to a shard.
   void upload(HostId host, std::vector<ProbeRecord> records);
 
   /// Optional observer invoked for every uploaded record (monitoring UIs,
@@ -122,8 +135,18 @@ class Analyzer {
   sim::EventScheduler& sched_;
   AnalyzerConfig cfg_;
 
+  /// Append `records` to the owning shard of `host` (reserve + move).
+  void ingest(HostId host, std::vector<ProbeRecord>&& records);
+  /// Drain every shard into one period-sized vector (merge at period close).
+  [[nodiscard]] std::vector<ProbeRecord> collect_shards();
+
   std::function<void(const ProbeRecord&)> tap_;
-  std::vector<ProbeRecord> buffer_;
+  std::vector<std::vector<ProbeRecord>> shards_;  // by prober host % N
+  struct DedupState {
+    std::uint64_t max_seq = 0;
+    std::unordered_set<std::uint64_t> seen;
+  };
+  std::unordered_map<std::uint32_t, DedupState> batch_dedup_;  // by host id
   std::unordered_map<std::uint32_t, TimeNs> last_upload_;  // by host id
   std::unordered_set<std::uint32_t> known_hosts_;
   std::unordered_map<std::uint32_t, TimeNs> rnic_blamed_until_;
@@ -141,6 +164,9 @@ class Analyzer {
     telemetry::Counter periods;
     telemetry::Counter uploads;
     telemetry::Counter records;
+    telemetry::Counter batches_accepted;
+    telemetry::Counter batches_duplicate;
+    std::vector<telemetry::Histogram> bucket_records;  // per ingest shard
     telemetry::Histogram stage_ns[kNumStages];
     telemetry::Counter timeouts_by_cause[5];    // indexed by AnomalyCause
     telemetry::Counter problems_by_category[7];  // indexed by ProblemCategory

@@ -249,4 +249,22 @@ void Controller::rotate_intertor_tuples() {
   }
 }
 
+PinglistPullResponse serve_pinglist_pull(const Controller& controller,
+                                         const PinglistPullRequest& req) {
+  PinglistPullResponse rsp;
+  rsp.rnics.reserve(req.rnics.size());
+  for (RnicId r : req.rnics) {
+    PinglistPullResponse::PerRnic per;
+    per.rnic = r;
+    per.tormesh = controller.tormesh_pinglist(r);
+    per.intertor = controller.intertor_pinglist(r);
+    rsp.rnics.push_back(std::move(per));
+  }
+  rsp.comm.reserve(req.comm_targets.size());
+  for (RnicId r : req.comm_targets) {
+    if (const auto info = controller.comm_info(r)) rsp.comm.push_back(*info);
+  }
+  return rsp;
+}
+
 }  // namespace rpm::core

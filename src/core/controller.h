@@ -116,4 +116,11 @@ class Controller {
   Metrics metrics_;
 };
 
+/// Controller-side servicing of one Agent pinglist pull (the server half of
+/// the transport RPC): pinglists for every requested RNIC plus fresh comm
+/// info for the requested service-tracing targets. Idempotent — safe under
+/// at-least-once request delivery.
+[[nodiscard]] PinglistPullResponse serve_pinglist_pull(
+    const Controller& controller, const PinglistPullRequest& req);
+
 }  // namespace rpm::core

@@ -1,5 +1,7 @@
 #include "core/rpingmesh.h"
 
+#include <string>
+
 namespace rpm::core {
 
 RPingmesh::RPingmesh(host::Cluster& cluster, RPingmeshConfig cfg)
@@ -8,10 +10,48 @@ RPingmesh::RPingmesh(host::Cluster& cluster, RPingmeshConfig cfg)
       controller_(cluster.topology(), cluster.router(), cfg.controller),
       analyzer_(cluster.topology(), controller_, cluster.scheduler(),
                 cfg.analyzer) {
+  transport::ControlPlane& cp = cluster_.control_plane();
   agents_.reserve(cluster_.num_hosts());
   for (const topo::HostInfo& h : cluster_.topology().hosts()) {
-    agents_.push_back(std::make_unique<Agent>(
-        cluster_, h.id, controller_, analyzer_.upload_sink(), cfg.agent));
+    const std::string suffix = "/h" + std::to_string(h.id.value);
+    // Agent -> Analyzer: the upload stream. Records are moved out of the
+    // payload on first delivery; ingest_batch dedups retried batches by
+    // (host, seq) before touching the body.
+    transport::Channel& up = cp.make_channel(
+        "upload" + suffix, [this](std::uint64_t, std::any& payload) {
+          if (auto* batch = std::any_cast<UploadBatch>(&payload)) {
+            analyzer_.ingest_batch(std::move(*batch));
+          }
+        });
+    // Agent -> Controller: registration + pinglist pulls. Both handlers are
+    // idempotent, as at-least-once request delivery requires.
+    transport::RpcChannel& rpc = cp.make_rpc_channel(
+        "ctrl" + suffix, [this](const std::any& req) -> std::any {
+          if (const auto* r = std::any_cast<AgentRegistration>(&req)) {
+            controller_.register_agent(r->host, r->rnics);
+            return std::any(true);
+          }
+          if (const auto* r = std::any_cast<PinglistPullRequest>(&req)) {
+            return std::any(serve_pinglist_pull(controller_, *r));
+          }
+          return std::any();
+        });
+    upload_channels_.push_back(&up);
+    rpc_channels_.push_back(&rpc);
+    agents_.push_back(std::make_unique<Agent>(cluster_, h.id, controller_, up,
+                                              rpc, cfg.agent));
+  }
+}
+
+RPingmesh::~RPingmesh() {
+  stop();
+  // The channels outlive this deployment (the ControlPlane owns them, and
+  // deliveries may still be queued on the scheduler): detach every handler
+  // that captures `this` before the members they reach are destroyed.
+  for (transport::Channel* ch : upload_channels_) ch->set_handler(nullptr);
+  for (transport::RpcChannel* rpc : rpc_channels_) {
+    rpc->set_server(nullptr);
+    rpc->cancel_pending();
   }
 }
 
@@ -19,9 +59,15 @@ void RPingmesh::start() {
   if (running_) return;
   running_ = true;
   for (auto& a : agents_) a->start();
-  // Agents registered on start; refresh once more so every pinglist sees
-  // every peer's comm info (first registration order matters otherwise).
-  for (auto& a : agents_) a->refresh_pinglists();
+  // Registrations are in flight; once they settle, refresh every pinglist so
+  // each Agent sees every peer's comm info regardless of arrival order.
+  settle_task_ = std::make_unique<sim::PeriodicTask>(
+      cluster_.scheduler(), cfg_.control_settle_delay, [this] {
+        settle_task_->cancel();  // one-shot
+        if (!running_) return;
+        for (auto& a : agents_) a->refresh_pinglists();
+      });
+  settle_task_->start(cfg_.control_settle_delay);
   analyzer_.start();
   rotation_task_ = std::make_unique<sim::PeriodicTask>(
       cluster_.scheduler(), cfg_.tuple_rotation_interval,
@@ -35,6 +81,7 @@ void RPingmesh::stop() {
   for (auto& a : agents_) a->stop();
   analyzer_.stop();
   if (rotation_task_) rotation_task_->cancel();
+  if (settle_task_) settle_task_->cancel();
 }
 
 }  // namespace rpm::core

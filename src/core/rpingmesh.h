@@ -18,11 +18,22 @@ struct RPingmeshConfig {
   AgentConfig agent{};
   AnalyzerConfig analyzer{};
   TimeNs tuple_rotation_interval = sec(3600);  // §5: rotate 20% hourly
+  // After start(), re-pull every Agent's pinglists once all registrations
+  // have had time to traverse the control plane (first registration order
+  // otherwise decides who sees whom).
+  TimeNs control_settle_delay = msec(10);
 };
 
+/// Deploys the three services onto a Cluster and wires them over its
+/// transport::ControlPlane: per host one upload channel ("upload/h<N>",
+/// Agent -> Analyzer UploadBatch stream) and one RPC channel ("ctrl/h<N>",
+/// Agent -> Controller registrations and pinglist pulls). No component holds
+/// a direct function binding to another — a degraded control plane (latency,
+/// loss, reordering; see src/faults) exercises every interaction.
 class RPingmesh {
  public:
   explicit RPingmesh(host::Cluster& cluster, RPingmeshConfig cfg = {});
+  ~RPingmesh();
 
   /// Start every Agent, the Analyzer's 20 s loop, and the hourly inter-ToR
   /// tuple rotation.
@@ -44,8 +55,13 @@ class RPingmesh {
   RPingmeshConfig cfg_;
   Controller controller_;
   Analyzer analyzer_;
+  // Channels live in the Cluster's ControlPlane (they model the network);
+  // these pointers let the destructor detach handlers that capture `this`.
+  std::vector<transport::Channel*> upload_channels_;
+  std::vector<transport::RpcChannel*> rpc_channels_;
   std::vector<std::unique_ptr<Agent>> agents_;
   std::unique_ptr<sim::PeriodicTask> rotation_task_;
+  std::unique_ptr<sim::PeriodicTask> settle_task_;
   bool running_ = false;
 };
 

@@ -3,7 +3,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -137,10 +136,42 @@ struct SlaReport {
   double proc_p50 = 0, proc_p90 = 0, proc_p99 = 0, proc_p999 = 0;
 };
 
-/// Sink Agents upload probe records to (the Analyzer; over TCP in
-/// production).
-using UploadFn =
-    std::function<void(HostId host, std::vector<struct ProbeRecord> records)>;
+// ---- control-plane wire messages (src/transport payloads) ----
+
+/// One Agent upload: every record accumulated since the last flush, possibly
+/// coalescing several 5 s periods and all of the host's RNICs (ROADMAP
+/// "Batched Agent uploads"). `seq` is monotone per Agent so the Analyzer can
+/// suppress duplicate deliveries of a retried batch.
+struct UploadBatch {
+  HostId host;
+  std::uint64_t seq = 0;
+  std::vector<ProbeRecord> records;
+};
+
+/// Agent -> Controller on (re)start: freshest comm info for every RNIC the
+/// Agent manages.
+struct AgentRegistration {
+  HostId host;
+  std::vector<RnicCommInfo> rnics;
+};
+
+/// Agent -> Controller every 5 minutes (§5): pinglists for the host's RNICs
+/// plus refreshed comm info for its service-tracing targets.
+struct PinglistPullRequest {
+  HostId host;
+  std::vector<RnicId> rnics;
+  std::vector<RnicId> comm_targets;
+};
+
+struct PinglistPullResponse {
+  struct PerRnic {
+    RnicId rnic;
+    Pinglist tormesh;
+    Pinglist intertor;
+  };
+  std::vector<PerRnic> rnics;
+  std::vector<RnicCommInfo> comm;  // answers for comm_targets (found only)
+};
 
 /// Everything one 20 s analysis period produced.
 struct PeriodReport {

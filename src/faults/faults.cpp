@@ -42,6 +42,8 @@ const char* fault_kind_name(FaultKind k) {
       return "agent-cpu-occupation";
     case FaultKind::kQpnReset:
       return "qpn-reset";
+    case FaultKind::kControlPlaneDegradation:
+      return "control-plane-degradation";
   }
   return "?";
 }
@@ -65,6 +67,7 @@ bool is_network_fault(FaultKind k) {
     case FaultKind::kCpuOverload:
     case FaultKind::kAgentCpuOccupation:
     case FaultKind::kQpnReset:
+    case FaultKind::kControlPlaneDegradation:  // monitoring plane, not fabric
       return false;
   }
   return false;
@@ -303,6 +306,15 @@ int FaultInjector::inject_qpn_reset(HostId host) {
   rec.kind = FaultKind::kQpnReset;
   rec.host = host;
   return register_fault(rec, [] {});
+}
+
+int FaultInjector::inject_control_plane_degradation(TimeNs extra_latency,
+                                                    double extra_loss) {
+  FaultRecord rec;
+  rec.kind = FaultKind::kControlPlaneDegradation;
+  transport::ControlPlane& cp = cluster_.control_plane();
+  cp.set_degradation(extra_latency, extra_loss);
+  return register_fault(rec, [&cp] { cp.clear_degradation(); });
 }
 
 void FaultInjector::clear(int handle) {

@@ -38,6 +38,7 @@ enum class FaultKind : std::uint8_t {
   kPcieDowngrade,           // #13/#14 -> PFC storm precursor
   kAgentCpuOccupation,      // Fig. 6 right: probe noise, not a real fault
   kQpnReset,                // §4.3.1: probe noise after Agent restart
+  kControlPlaneDegradation, // lossy/slow Agent<->Controller/Analyzer plane
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -97,6 +98,13 @@ class FaultInjector {
 
   /// Fig. 6 right: the service pegs every core; the Agent starves.
   int inject_agent_cpu_occupation(HostId host);
+  /// Degrade the whole control plane: every transport channel (uploads,
+  /// registrations, pinglist pulls) gains `extra_latency` per message and an
+  /// additional independent loss probability `extra_loss`. The data plane is
+  /// untouched — measurements must stay correct while their *reporting path*
+  /// suffers ("waiting at the front door" scenario).
+  int inject_control_plane_degradation(TimeNs extra_latency,
+                                       double extra_loss);
   /// §4.3.1: the Agent process on `host` restarts, so every Agent QP on the
   /// host's RNICs is recreated with fresh QPNs. Callers (the Agent harness)
   /// observe this via the returned record; the injector only flags it.

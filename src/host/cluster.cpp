@@ -20,6 +20,10 @@ Cluster::Cluster(topo::Topology topology, ClusterConfig cfg)
         r.id, fabric_, sched_, sim::DeviceClock::random(rng_), rng_.fork(),
         cfg.rnic));
   }
+  // Forked last so the control plane's stream never perturbs the host/RNIC
+  // clock draws above (fixed-seed runs stay reproducible across versions).
+  control_plane_ = std::make_unique<transport::ControlPlane>(
+      sched_, rng_.fork(), cfg.control_plane);
   // Event-loop throughput: mirrored into the registry at snapshot time so
   // the scheduler's hot loop stays untouched.
   sched_collector_ = telemetry::CollectorGuard(

@@ -15,6 +15,7 @@
 #include "sim/scheduler.h"
 #include "telemetry/metrics.h"
 #include "topo/topology.h"
+#include "transport/transport.h"
 #include "verbs/verbs.h"
 
 namespace rpm::host {
@@ -24,6 +25,7 @@ struct ClusterConfig {
   rnic::RnicParams rnic{};
   HostParams host{};
   double traceroute_responses_per_sec = 100.0;  // per switch (§4.2.3)
+  transport::ChannelConfig control_plane{};     // latency/loss/backoff knobs
   std::uint64_t seed = 7;
 };
 
@@ -40,6 +42,9 @@ class Cluster {
   [[nodiscard]] fabric::Fabric& fabric() { return fabric_; }
   [[nodiscard]] routing::TracerouteService& traceroute() { return tracer_; }
   [[nodiscard]] fabric::IntTelemetry& int_telemetry() { return int_; }
+  [[nodiscard]] transport::ControlPlane& control_plane() {
+    return *control_plane_;
+  }
 
   [[nodiscard]] HostModel& host(HostId id) { return *hosts_.at(id.value); }
   [[nodiscard]] rnic::RnicDevice& rnic_device(RnicId id) {
@@ -74,6 +79,7 @@ class Cluster {
   Rng rng_;
   std::vector<std::unique_ptr<HostModel>> hosts_;
   std::vector<std::unique_ptr<rnic::RnicDevice>> rnics_;
+  std::unique_ptr<transport::ControlPlane> control_plane_;
   bool started_ = false;
   telemetry::CollectorGuard sched_collector_;  // event-loop gauges
 };

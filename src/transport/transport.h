@@ -1,0 +1,209 @@
+// Control-plane transport: the message bus between Agents, the Controller,
+// and the Analyzer.
+//
+// In production these are separate services talking over a real datacenter
+// control network (§4): Agents upload record batches to the Analyzer over
+// TCP, register with the Controller, and pull pinglists by RPC. This module
+// gives the reproduction that shape without real sockets: a `Channel` is a
+// unidirectional, typed message stream whose simulation backend models
+//
+//   * delivery latency (base + uniform jitter, per message),
+//   * loss (Bernoulli per transmission attempt, on data AND acks),
+//   * reordering (a loss-free extra delay lottery per attempt),
+//   * at-least-once retry with exponential backoff and an attempt cap,
+//   * a bounded in-flight window with drop-oldest backpressure,
+//
+// all on the shared `sim::EventScheduler` clock with a per-channel forked
+// `Rng`, so runs stay fully deterministic. Retries mean *duplicates*:
+// receivers must deduplicate (the Analyzer suppresses repeated batch
+// sequence numbers; Controller RPCs are idempotent).
+//
+// `RpcChannel` composes two Channels (request/response) into a
+// request-response pair correlated by the request's sequence number; the
+// client sees exactly one response per call even when retries made the
+// server execute several times.
+//
+// `ControlPlane` owns every channel of a cluster, hands out forked RNG
+// streams, and carries the shared `Degradation` knob that the
+// control-plane-degradation fault (src/faults) flips: extra latency and
+// extra loss applied to every channel at once.
+//
+// Every channel self-reports through src/telemetry:
+//   rpm_transport_msgs_total{channel,result=sent|delivered|duplicate|lost|
+//                            retry|dropped|expired}
+//   rpm_transport_queue_depth{channel}        (unacked in-flight window)
+//   rpm_transport_delivery_latency_ns{channel} (send -> first delivery)
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/scheduler.h"
+#include "telemetry/metrics.h"
+
+namespace rpm::transport {
+
+struct ChannelConfig {
+  TimeNs base_latency = usec(50);    // one-way control-plane latency
+  TimeNs latency_jitter = usec(25);  // uniform [0, jitter) added per message
+  double loss_prob = 0.0;            // per transmission attempt (data + ack)
+  double reorder_prob = 0.0;         // chance of an extra out-of-order delay
+  TimeNs reorder_extra = usec(200);  // the extra delay when reordered
+  std::size_t max_in_flight = 256;   // unacked window; beyond: drop oldest
+  std::uint32_t max_attempts = 6;    // transmissions before giving up
+  TimeNs retry_timeout = msec(50);   // first retransmit timer
+  double retry_backoff = 2.0;        // timer multiplier per attempt
+  TimeNs max_retry_timeout = sec(2); // backoff ceiling
+};
+
+/// Fault-injectable control-plane impairment, shared by every channel of a
+/// ControlPlane. Effective loss = 1 - (1-loss_prob)*(1-extra_loss).
+struct Degradation {
+  TimeNs extra_latency = 0;
+  double extra_loss = 0.0;
+};
+
+/// Unidirectional at-least-once message stream. Single-threaded (simulator
+/// clock); safe to destroy with deliveries still queued — in-flight events
+/// hold weak references to the channel state.
+class Channel {
+ public:
+  /// Receiver callback. `payload` is mutable so handlers can move large
+  /// message bodies out; on duplicate deliveries the payload may therefore
+  /// be moved-from — dedup on header fields before touching the body.
+  using HandlerFn = std::function<void(std::uint64_t seq, std::any& payload)>;
+  using ExpireFn = std::function<void(std::uint64_t seq)>;
+
+  Channel(sim::EventScheduler& sched, std::string name, Rng rng,
+          ChannelConfig cfg, std::shared_ptr<const Degradation> degradation);
+  ~Channel();
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueue a message; returns its channel-unique sequence number. If the
+  /// in-flight window is full the OLDEST unacked message is dropped
+  /// (counted as result="dropped") — latest-wins backpressure, matching
+  /// what a monitoring upload path wants under overload.
+  std::uint64_t send(std::any payload);
+
+  /// Sender-side handler swap (nullptr detaches: messages still count as
+  /// delivered but are discarded). The consumer calls this once at setup.
+  void set_handler(HandlerFn handler);
+
+  /// Invoked when a message exhausts max_attempts without an ack.
+  void set_on_expire(ExpireFn fn);
+
+  /// Abandon every unacked message (process shutdown / host death); each is
+  /// counted as result="dropped" and its retries stop.
+  void cancel_unacked();
+
+  /// Record `n` messages the application discarded before they ever reached
+  /// send() (e.g. an Agent on a dead host clearing its outbox). Keeps every
+  /// control-plane drop in one counter: rpm_transport_msgs_total{result="dropped"}.
+  void note_app_drop(std::uint64_t n = 1);
+
+  struct Counters {
+    std::uint64_t sent = 0;        // send() calls accepted
+    std::uint64_t delivered = 0;   // first deliveries to the handler
+    std::uint64_t duplicates = 0;  // repeat deliveries (retry raced the ack)
+    std::uint64_t lost = 0;        // transmission attempts the network ate
+    std::uint64_t retries = 0;     // retransmissions
+    std::uint64_t dropped = 0;     // backpressure + cancel + app drops
+    std::uint64_t expired = 0;     // gave up after max_attempts, undelivered
+  };
+  [[nodiscard]] const Counters& counters() const;
+  [[nodiscard]] std::size_t in_flight() const;
+  [[nodiscard]] const std::string& name() const;
+  [[nodiscard]] const ChannelConfig& config() const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Request-response on top of two Channels ("<name>.req" / "<name>.rsp"),
+/// correlated by request sequence number. At-least-once requests against an
+/// idempotent server; the client callback fires exactly once (first response
+/// wins, duplicates are absorbed by the response channel's dedup here).
+class RpcChannel {
+ public:
+  /// Server: consumes a request payload, produces the response payload.
+  /// May run more than once per logical request (retried deliveries) — must
+  /// be idempotent.
+  using ServerFn = std::function<std::any(const std::any& request)>;
+  /// Client completion. Mutable payload so large responses can be moved out.
+  using ResponseFn = std::function<void(std::any& response)>;
+
+  RpcChannel(sim::EventScheduler& sched, std::string name, Rng rng,
+             ChannelConfig cfg, std::shared_ptr<const Degradation> degradation,
+             ServerFn server);
+  ~RpcChannel();
+  RpcChannel(const RpcChannel&) = delete;
+  RpcChannel& operator=(const RpcChannel&) = delete;
+
+  /// Issue a call; `on_response` fires once, or never if the request
+  /// expires (caller owns retry-at-the-application-layer policy).
+  std::uint64_t call(std::any request, ResponseFn on_response);
+
+  /// Drop every outstanding call's completion (process shutdown).
+  void cancel_pending();
+
+  void set_server(ServerFn server);
+
+  [[nodiscard]] Channel& request_channel() { return *req_; }
+  [[nodiscard]] Channel& response_channel() { return *rsp_; }
+  [[nodiscard]] std::size_t pending_calls() const;
+
+ private:
+  struct Envelope {
+    std::uint64_t request_seq = 0;
+    std::any payload;
+  };
+
+  std::unique_ptr<Channel> req_;
+  std::unique_ptr<Channel> rsp_;
+  std::shared_ptr<ServerFn> server_;
+  // shared so the response handler survives if the RpcChannel dies first
+  std::shared_ptr<std::unordered_map<std::uint64_t, ResponseFn>> pending_;
+};
+
+/// Factory + owner of every control-plane channel in a cluster. One per
+/// Cluster; faults degrade the whole plane through set_degradation().
+class ControlPlane {
+ public:
+  ControlPlane(sim::EventScheduler& sched, Rng rng, ChannelConfig defaults = {});
+
+  /// Create (and own) a channel; each gets an independent forked Rng stream.
+  Channel& make_channel(std::string name, Channel::HandlerFn handler,
+                        std::optional<ChannelConfig> cfg = std::nullopt);
+  RpcChannel& make_rpc_channel(std::string name, RpcChannel::ServerFn server,
+                               std::optional<ChannelConfig> cfg = std::nullopt);
+
+  void set_degradation(TimeNs extra_latency, double extra_loss);
+  void clear_degradation() { set_degradation(0, 0.0); }
+  [[nodiscard]] const Degradation& degradation() const { return *degradation_; }
+
+  [[nodiscard]] const ChannelConfig& defaults() const { return defaults_; }
+  [[nodiscard]] std::size_t num_channels() const {
+    return channels_.size() + 2 * rpcs_.size();
+  }
+
+ private:
+  sim::EventScheduler& sched_;
+  Rng rng_;
+  ChannelConfig defaults_;
+  std::shared_ptr<Degradation> degradation_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<RpcChannel>> rpcs_;
+};
+
+}  // namespace rpm::transport

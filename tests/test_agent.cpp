@@ -3,6 +3,8 @@
 // cache behaviour, and upload cadence.
 #include <gtest/gtest.h>
 
+#include <any>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -10,7 +12,9 @@
 #include "core/analyzer.h"
 #include "core/controller.h"
 #include "host/cluster.h"
+#include "telemetry/metrics.h"
 #include "traffic/dml.h"
+#include "transport/transport.h"
 
 namespace rpm::core {
 namespace {
@@ -28,25 +32,54 @@ topo::ClosConfig clos_cfg() {
   return cfg;
 }
 
-/// A manual deployment whose upload stream is tapped.
-class AgentTest : public ::testing::Test {
+/// A manual deployment wired over the cluster's control plane, with the
+/// upload channels tapped. The default config flushes every upload period
+/// (coalescing off) so cadence expectations stay simple; AgentCoalesceTest
+/// below exercises the batching default.
+class AgentTestBase : public ::testing::Test {
  protected:
-  AgentTest()
+  static AgentConfig flush_every_period() {
+    AgentConfig cfg;
+    cfg.upload_coalesce_periods = 1;
+    return cfg;
+  }
+
+  explicit AgentTestBase(AgentConfig acfg = flush_every_period())
       : cluster_(topo::build_clos(clos_cfg())),
         ctrl_(cluster_.topology(), cluster_.router()) {
+    transport::ControlPlane& cp = cluster_.control_plane();
     for (const topo::HostInfo& h : cluster_.topology().hosts()) {
-      agents_.push_back(std::make_unique<Agent>(
-          cluster_, h.id, ctrl_,
-          [this](HostId host, std::vector<ProbeRecord> recs) {
-            uploads_per_host_[host.value]++;
-            for (auto& r : recs) tap_.push_back(std::move(r));
-          }));
+      const std::string suffix = "/h" + std::to_string(h.id.value);
+      transport::Channel& up = cp.make_channel(
+          "upload" + suffix, [this](std::uint64_t, std::any& payload) {
+            auto* batch = std::any_cast<UploadBatch>(&payload);
+            if (batch == nullptr) return;
+            uploads_per_host_[batch->host.value]++;
+            for (auto& r : batch->records) tap_.push_back(std::move(r));
+          });
+      transport::RpcChannel& rpc = cp.make_rpc_channel(
+          "ctrl" + suffix, [this](const std::any& req) -> std::any {
+            if (const auto* r = std::any_cast<AgentRegistration>(&req)) {
+              ctrl_.register_agent(r->host, r->rnics);
+              return std::any(true);
+            }
+            if (const auto* r = std::any_cast<PinglistPullRequest>(&req)) {
+              return std::any(serve_pinglist_pull(ctrl_, *r));
+            }
+            return std::any();
+          });
+      agents_.push_back(
+          std::make_unique<Agent>(cluster_, h.id, ctrl_, up, rpc, acfg));
     }
   }
 
   void start_all() {
     for (auto& a : agents_) a->start();
+    // Registrations and first pinglist pulls are control-plane round trips;
+    // let them settle, then re-pull so every Agent sees every peer.
+    cluster_.run_for(msec(5));
     for (auto& a : agents_) a->refresh_pinglists();
+    cluster_.run_for(msec(5));
   }
 
   host::Cluster cluster_;
@@ -56,9 +89,17 @@ class AgentTest : public ::testing::Test {
   std::unordered_map<std::uint32_t, int> uploads_per_host_;
 };
 
+class AgentTest : public AgentTestBase {};
+
+class AgentCoalesceTest : public AgentTestBase {
+ protected:
+  AgentCoalesceTest() : AgentTestBase(AgentConfig{}) {}
+};
+
 TEST_F(AgentTest, RegistersAllRnicsOnStart) {
   EXPECT_FALSE(ctrl_.comm_info(RnicId{0}).has_value());
   agents_[0]->start();
+  cluster_.run_for(msec(2));  // registration RPC round trip
   for (RnicId r : cluster_.topology().host(HostId{0}).rnics) {
     const auto info = ctrl_.comm_info(r);
     ASSERT_TRUE(info.has_value());
@@ -69,8 +110,10 @@ TEST_F(AgentTest, RegistersAllRnicsOnStart) {
 
 TEST_F(AgentTest, RestartChangesQpns) {
   agents_[0]->start();
+  cluster_.run_for(msec(2));
   const Qpn before = ctrl_.comm_info(RnicId{0})->qpn;
   agents_[0]->restart();
+  cluster_.run_for(msec(2));
   const Qpn after = ctrl_.comm_info(RnicId{0})->qpn;
   EXPECT_NE(before, after);
 }
@@ -270,9 +313,56 @@ TEST_F(AgentTest, StopDestroysUdQps) {
   EXPECT_EQ(cluster_.rnic_device(RnicId{0}).active_qp_count(), 0u);
 }
 
-TEST_F(AgentTest, RequiresUploadSink) {
-  EXPECT_THROW(Agent(cluster_, HostId{0}, ctrl_, nullptr),
-               std::invalid_argument);
+TEST_F(AgentTest, StopFlushesOutboxThroughTransport) {
+  start_all();
+  cluster_.run_for(sec(2));  // accumulate records, short of the 5 s timer
+  tap_.clear();
+  agents_[0]->stop();
+  cluster_.run_for(msec(10));  // final batch traverses the control plane
+  std::size_t from_h0 = 0;
+  for (const auto& r : tap_) {
+    if (r.prober_host == HostId{0}) ++from_h0;
+  }
+  EXPECT_GT(from_h0, 0u) << "stop() must flush, not discard, the outbox";
+}
+
+TEST_F(AgentTest, DeadHostStopDropsOutboxAndCountsIt) {
+  start_all();
+  cluster_.run_for(sec(2));
+  cluster_.host(HostId{0}).set_down(true);
+  const auto drops_before = telemetry::registry()
+                                .counter("rpm_transport_msgs_total", "",
+                                         {{"channel", "upload/h0"},
+                                          {"result", "dropped"}})
+                                .value();
+  tap_.clear();
+  agents_[0]->stop();
+  cluster_.run_for(msec(10));
+  for (const auto& r : tap_) {
+    EXPECT_NE(r.prober_host, HostId{0}) << "dead host cannot flush";
+  }
+  const auto drops_after = telemetry::registry()
+                               .counter("rpm_transport_msgs_total", "",
+                                        {{"channel", "upload/h0"},
+                                         {"result", "dropped"}})
+                               .value();
+  EXPECT_GT(drops_after, drops_before)
+      << "discarded outbox must surface as result=\"dropped\"";
+}
+
+TEST_F(AgentCoalesceTest, DefaultConfigCoalescesTwoPeriods) {
+  start_all();
+  cluster_.run_for(sec(20) + msec(100));
+  // upload_coalesce_periods = 2 (default): the 5 s timer flushes only every
+  // other tick, so ~2 batches in 20 s instead of ~4 — each twice the size.
+  for (const auto& [host, count] : uploads_per_host_) {
+    EXPECT_NEAR(count, 2, 1) << "host " << host;
+  }
+  std::size_t per_host_records = 0;
+  for (const auto& r : tap_) {
+    if (r.prober_host == HostId{0}) ++per_host_records;
+  }
+  EXPECT_GT(per_host_records, 100u) << "coalescing must not shed records";
 }
 
 }  // namespace

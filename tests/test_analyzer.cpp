@@ -488,6 +488,91 @@ TEST_F(AnalyzerTest, RecordTapSeesEveryUpload) {
   EXPECT_EQ(taps, 2);
 }
 
+TEST_F(AnalyzerTest, ShardedIngestMergesEveryHostsRecords) {
+  // Records spread across all ingest buckets must all reach the same
+  // period report, independent of the shard count.
+  for (std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    AnalyzerConfig cfg;
+    cfg.ingest_shards = shards;
+    Analyzer a(topo_, ctrl_, sched_, cfg);
+    std::size_t total = 0;
+    std::uint64_t seq = 1;
+    for (const topo::HostInfo& h : topo_.hosts()) {
+      UploadBatch b;
+      b.host = h.id;
+      b.seq = seq++;
+      for (int i = 0; i < 5; ++i) {
+        b.records.push_back(
+            make_record(h.rnics[0], h.rnics[1], ProbeStatus::kOk));
+      }
+      total += b.records.size();
+      a.ingest_batch(std::move(b));
+    }
+    const PeriodReport& rep = a.analyze_now();
+    EXPECT_EQ(rep.records_processed, total) << "shards=" << shards;
+  }
+}
+
+TEST_F(AnalyzerTest, DuplicateBatchesAreSuppressed) {
+  // An at-least-once transport redelivers batches; the same (host, seq)
+  // must count once no matter how often it arrives.
+  UploadBatch b;
+  b.host = HostId{0};
+  b.seq = 7;
+  b.records.push_back(make_record(RnicId{0}, RnicId{1}, ProbeStatus::kOk));
+  b.records.push_back(make_record(RnicId{0}, RnicId{2}, ProbeStatus::kOk));
+
+  analyzer_.ingest_batch(UploadBatch(b));
+  analyzer_.ingest_batch(UploadBatch(b));  // retransmit duplicate
+  analyzer_.ingest_batch(UploadBatch(b));
+
+  // A distinct sequence number from the same host is new data.
+  UploadBatch b2 = b;
+  b2.seq = 8;
+  analyzer_.ingest_batch(std::move(b2));
+
+  const PeriodReport& rep = analyzer_.analyze_now();
+  EXPECT_EQ(rep.records_processed, 4u);  // 2 + 2, duplicates dropped
+}
+
+TEST_F(AnalyzerTest, StaleBatchBehindDedupWindowIsDropped) {
+  AnalyzerConfig cfg;
+  cfg.dedup_window = 4;
+  Analyzer a(topo_, ctrl_, sched_, cfg);
+  auto batch = [&](std::uint64_t seq) {
+    UploadBatch b;
+    b.host = HostId{0};
+    b.seq = seq;
+    b.records.push_back(make_record(RnicId{0}, RnicId{1}, ProbeStatus::kOk));
+    return b;
+  };
+  a.ingest_batch(batch(100));
+  a.ingest_batch(batch(101));
+  // Far behind the window: can only be an ancient retransmit.
+  a.ingest_batch(batch(10));
+  const PeriodReport& rep = a.analyze_now();
+  EXPECT_EQ(rep.records_processed, 2u);
+}
+
+TEST_F(AnalyzerTest, DuplicateBatchStillProvesHostLiveness) {
+  // Host 0 keeps resending one batch (its acks are being lost). It must not
+  // be declared down: duplicates still prove the Agent is alive.
+  UploadBatch b;
+  b.host = HostId{0};
+  b.seq = 1;
+  analyzer_.ingest_batch(UploadBatch(b));
+  sched_.run_until(sec(30));  // beyond the 20 s silence threshold
+  for (const topo::HostInfo& h : topo_.hosts()) {
+    if (h.id != HostId{0}) analyzer_.upload(h.id, {});
+  }
+  analyzer_.ingest_batch(UploadBatch(b));  // duplicate, fresh timestamp
+  const PeriodReport& rep = analyzer_.analyze_now();
+  for (const auto& p : rep.problems) {
+    EXPECT_FALSE(p.category == ProblemCategory::kHostDown &&
+                 p.host == HostId{0});
+  }
+}
+
 TEST_F(AnalyzerTest, ConfigValidation) {
   AnalyzerConfig bad;
   bad.period = 0;

@@ -1,5 +1,9 @@
 // End-to-end tests of the deployed R-Pingmesh system: Agents probing over
 // the simulated fabric, Analyzer classifying and localizing injected faults.
+#include <deque>
+#include <sstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "core/rpingmesh.h"
@@ -25,7 +29,8 @@ topo::ClosConfig clos_cfg() {
 }
 
 struct Deployment {
-  Deployment() : cluster(topo::build_clos(clos_cfg())), rpm(cluster) {
+  explicit Deployment(host::ClusterConfig cfg = {})
+      : cluster(topo::build_clos(clos_cfg()), cfg), rpm(cluster) {
     rpm.start();
   }
   host::Cluster cluster;
@@ -248,7 +253,9 @@ TEST(RPingmeshE2E, ImpactAssessmentAssignsPriorities) {
   // A problem on a worker RNIC is in the service network: P0 or P1.
   faults::FaultInjector inj(d.cluster);
   const int h = inj.inject_rnic_down(RnicId{4});
-  d.cluster.run_for(sec(21));
+  // Coalesced uploads traverse the control plane: a batch flushed at a
+  // period boundary lands in the NEXT period, so cover one extra period.
+  d.cluster.run_for(sec(41));
   const PeriodReport* rep = d.rpm.analyzer().last_report();
   ASSERT_NE(rep, nullptr);
   const Problem* p = find_problem(*rep, ProblemCategory::kRnicProblem);
@@ -261,12 +268,96 @@ TEST(RPingmeshE2E, ImpactAssessmentAssignsPriorities) {
 
   // A problem far from the service (different pod, unused RNIC) is P2.
   inj.inject_rnic_down(RnicId{15});
-  d.cluster.run_for(sec(41));
+  // Long enough that the last analyzed period holds no late-delivered
+  // timeouts of the (cleared) RNIC-4 fault, only RNIC 15's.
+  d.cluster.run_for(sec(61));
   rep = d.rpm.analyzer().last_report();
   const Problem* p2 = find_problem(*rep, ProblemCategory::kRnicProblem);
   ASSERT_NE(p2, nullptr);
   EXPECT_EQ(p2->rnic, RnicId{15});
   EXPECT_EQ(p2->priority, Priority::kP2);
+}
+
+TEST(RPingmeshE2E, ControlPlaneLossKeepsReportsCorrect) {
+  // Degrade the monitoring plane itself: uploads and RPCs get slow and
+  // lossy. Measurements must survive unharmed — batches retry, duplicates
+  // are suppressed, and the Analyzer neither loses data nor double counts.
+  telemetry::registry().reset();  // safe: no Deployment alive yet
+  Deployment d;
+  d.cluster.run_for(sec(5));
+  faults::FaultInjector inj(d.cluster);
+  inj.inject_control_plane_degradation(msec(2), 0.25);
+  d.cluster.run_for(sec(46));  // analyses at t = 20 s and t = 40 s
+
+  const telemetry::Snapshot snap = telemetry::registry().snapshot();
+  // The degradation actually bit: transmissions were lost and retried.
+  EXPECT_GT(snap.sum("rpm_transport_msgs_total", {{"result", "lost"}}), 0.0);
+  EXPECT_GT(snap.sum("rpm_transport_msgs_total", {{"result", "retry"}}), 0.0);
+  EXPECT_GT(snap.sum("rpm_transport_msgs_total", {{"result", "duplicate"}}),
+            0.0);
+  // No double counting: the Analyzer processed at most what Agents uploaded.
+  EXPECT_LE(snap.sum("rpm_analyzer_records_total"),
+            snap.sum("rpm_agent_upload_records_total"));
+
+  // And the reports themselves stay clean: a healthy fabric with a sick
+  // control plane must not show fabric problems.
+  const PeriodReport* rep = d.rpm.analyzer().last_report();
+  ASSERT_NE(rep, nullptr);
+  EXPECT_GT(rep->records_processed, 100u);
+  EXPECT_EQ(rep->cluster_sla.timeouts, 0u);
+  EXPECT_FALSE(has_problem(*rep, ProblemCategory::kRnicProblem));
+  EXPECT_FALSE(has_problem(*rep, ProblemCategory::kSwitchNetworkProblem));
+  EXPECT_FALSE(has_problem(*rep, ProblemCategory::kHostDown));
+}
+
+std::string serialize_history(const std::deque<PeriodReport>& hist) {
+  std::ostringstream os;
+  os << std::hexfloat;  // doubles must match bit for bit
+  for (const PeriodReport& r : hist) {
+    os << r.period_start << '|' << r.period_end << '|' << r.records_processed
+       << '|' << r.timeouts_host_down << '|' << r.timeouts_qpn_reset << '|'
+       << r.timeouts_agent_cpu << '|' << r.timeouts_rnic << '|'
+       << r.timeouts_switch << '\n';
+    const auto sla = [&os](const SlaReport& s) {
+      os << s.probes << ' ' << s.timeouts << ' ' << s.rnic_drop_rate << ' '
+         << s.switch_drop_rate << ' ' << s.rtt_mean << ' ' << s.rtt_p50 << ' '
+         << s.rtt_p90 << ' ' << s.rtt_p99 << ' ' << s.rtt_p999 << ' '
+         << s.proc_p50 << ' ' << s.proc_p90 << ' ' << s.proc_p99 << ' '
+         << s.proc_p999 << '\n';
+    };
+    sla(r.cluster_sla);
+    for (const auto& [svc, s] : r.service_slas) {
+      os << "svc " << svc.value << ' ';
+      sla(s);
+    }
+    for (const Problem& p : r.problems) {
+      os << static_cast<int>(p.category) << ' ' << static_cast<int>(p.priority)
+         << ' ' << p.rnic.value << ' ' << p.host.value << ' '
+         << p.anomalous_probes << ' ' << p.in_service_network << ' '
+         << p.summary << '\n';
+      for (LinkId l : p.suspect_links) os << 'L' << l.value << ' ';
+      for (SwitchId s : p.suspect_switches) os << 'S' << s.value << ' ';
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+TEST(RPingmeshE2E, LossyControlPlaneRunsAreDeterministic) {
+  // Two runs with the same seed and a lossy transport must produce
+  // byte-identical report histories: every loss draw, retry timer, and
+  // duplicate delivery rides the one deterministic scheduler.
+  const auto run_once = [] {
+    host::ClusterConfig cfg;
+    cfg.control_plane.loss_prob = 0.3;
+    Deployment d(cfg);
+    d.cluster.run_for(sec(45));
+    return serialize_history(d.rpm.analyzer().history());
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
 }
 
 TEST(RPingmeshE2E, GidMissingMakesRnicUnreachable) {
@@ -304,6 +395,18 @@ TEST(RPingmeshE2E, FullRunExportsNonZeroTelemetry) {
   EXPECT_GT(
       snap.sum("rpm_analyzer_timeouts_total", {{"cause", "rnic-problem"}}),
       0.0);
+  // The control-plane transport carried those uploads and registrations...
+  EXPECT_GT(snap.sum("rpm_transport_msgs_total", {{"result", "sent"}}), 0.0);
+  EXPECT_GT(snap.sum("rpm_transport_msgs_total", {{"result", "delivered"}}),
+            0.0);
+  // ...batched: several records (and periods) per upload message.
+  EXPECT_LT(snap.sum("rpm_agent_uploads_total") * 10.0,
+            snap.sum("rpm_agent_upload_records_total"));
+  // Sharded ingestion accepted each batch exactly once.
+  EXPECT_GT(snap.sum("rpm_analyzer_batches_total", {{"result", "accepted"}}),
+            0.0);
+  EXPECT_DOUBLE_EQ(
+      snap.sum("rpm_analyzer_batches_total", {{"result", "duplicate"}}), 0.0);
   // Controller served pinglists; fabric moved packets; faults were recorded.
   EXPECT_GT(snap.sum("rpm_controller_pinglist_requests_total"), 0.0);
   EXPECT_GT(snap.sum("rpm_fabric_delivered_total"), 0.0);
@@ -315,6 +418,10 @@ TEST(RPingmeshE2E, FullRunExportsNonZeroTelemetry) {
   EXPECT_NE(text.find("rpm_agent_network_rtt_ns"), std::string::npos);
   EXPECT_NE(text.find("rpm_analyzer_stage_ns"), std::string::npos);
   EXPECT_NE(text.find("rpm_sim_executed_events"), std::string::npos);
+  EXPECT_NE(text.find("rpm_transport_delivery_latency_ns"), std::string::npos);
+  EXPECT_NE(text.find("rpm_transport_queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("rpm_analyzer_ingest_bucket_records"),
+            std::string::npos);
 }
 
 TEST(RPingmeshE2E, AgentOverheadScalesWithProbeRate) {

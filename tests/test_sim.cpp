@@ -164,6 +164,43 @@ TEST(PeriodicTask, SetPeriodAppliesFromNextRearm) {
   EXPECT_EQ(fires[3], msec(40));
 }
 
+TEST(PeriodicTask, SetPeriodFromWithinCallbackAppliesToNextRearm) {
+  // An Agent retunes its probe cadence from inside the probing callback
+  // (pinglist refresh); the re-arm after the callback must read the new
+  // period, not the one captured when the firing was queued.
+  EventScheduler s;
+  std::vector<TimeNs> fires;
+  PeriodicTask t(s, msec(10), [&] {
+    fires.push_back(s.now());
+    if (fires.size() == 2) t.set_period(msec(3));
+  });
+  t.start();
+  s.run_until(msec(20));
+  // 0, 10 (changes period), 13, 16, 19.
+  ASSERT_EQ(fires.size(), 5u);
+  EXPECT_EQ(fires[2], msec(13));
+  EXPECT_EQ(fires[4], msec(19));
+  EXPECT_EQ(t.period(), msec(3));
+}
+
+TEST(PeriodicTask, CancelWhileQueuedThenRestartDropsStaleFiring) {
+  // cancel() with a firing already queued, then start() again before the
+  // stale event's timestamp: the generation guard must swallow the stale
+  // event or the task would fire on both the old and the new cadence.
+  EventScheduler s;
+  std::vector<TimeNs> fires;
+  PeriodicTask t(s, msec(10), [&] { fires.push_back(s.now()); });
+  t.start();
+  s.run_until(msec(10));  // fired at 0 and 10; next queued for 20
+  t.cancel();
+  t.start(msec(5));  // new cadence: 15, 25, 35...
+  s.run_until(msec(30));
+  ASSERT_EQ(fires.size(), 4u);
+  EXPECT_EQ(fires[2], msec(15));  // NOT the stale t=20 event
+  EXPECT_EQ(fires[3], msec(25));
+  EXPECT_TRUE(t.running());
+}
+
 TEST(PeriodicTask, RejectsBadArguments) {
   EventScheduler s;
   EXPECT_THROW(PeriodicTask(s, 0, [] {}), std::invalid_argument);

@@ -1,0 +1,317 @@
+// Unit tests for the control-plane transport: delivery timing, loss/retry/
+// backoff, bounded-window backpressure, cancellation, counter invariants,
+// RPC correlation, and plane-wide degradation.
+#include <any>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/scheduler.h"
+#include "transport/transport.h"
+
+namespace rpm::transport {
+namespace {
+
+class TransportTest : public ::testing::Test {
+ protected:
+  /// A lossless, jitter-free config so timing assertions are exact.
+  static ChannelConfig lossless() {
+    ChannelConfig cfg;
+    cfg.base_latency = usec(50);
+    cfg.latency_jitter = 0;
+    cfg.loss_prob = 0.0;
+    cfg.reorder_prob = 0.0;
+    return cfg;
+  }
+
+  sim::EventScheduler sched_;
+  ControlPlane cp_{sched_, Rng(42)};
+};
+
+TEST_F(TransportTest, DeliversPayloadAtConfiguredLatency) {
+  std::vector<TimeNs> delivered_at;
+  std::vector<int> bodies;
+  Channel& ch = cp_.make_channel(
+      "t.basic",
+      [&](std::uint64_t, std::any& p) {
+        delivered_at.push_back(sched_.now());
+        bodies.push_back(std::any_cast<int>(p));
+      },
+      lossless());
+
+  const std::uint64_t seq = ch.send(std::any(7));
+  EXPECT_EQ(seq, 1u);
+  EXPECT_EQ(ch.in_flight(), 1u);
+
+  sched_.run_until(sec(1));
+  ASSERT_EQ(delivered_at.size(), 1u);
+  EXPECT_EQ(delivered_at[0], usec(50));
+  EXPECT_EQ(bodies[0], 7);
+  EXPECT_EQ(ch.counters().delivered, 1u);
+  EXPECT_EQ(ch.counters().duplicates, 0u);
+  EXPECT_EQ(ch.in_flight(), 0u);  // ack came back, window drained
+}
+
+TEST_F(TransportTest, JitterStaysWithinBounds) {
+  ChannelConfig cfg = lossless();
+  cfg.latency_jitter = usec(25);
+  std::vector<TimeNs> delivered_at;
+  Channel& ch = cp_.make_channel(
+      "t.jitter",
+      [&](std::uint64_t, std::any&) { delivered_at.push_back(sched_.now()); },
+      cfg);
+
+  for (int i = 0; i < 100; ++i) ch.send(std::any(i));
+  sched_.run_until(sec(1));
+
+  ASSERT_EQ(delivered_at.size(), 100u);
+  for (TimeNs t : delivered_at) {
+    EXPECT_GE(t, cfg.base_latency);
+    EXPECT_LE(t, cfg.base_latency + cfg.latency_jitter);
+  }
+}
+
+TEST_F(TransportTest, TotalLossExpiresAfterBackoffSchedule) {
+  ChannelConfig cfg = lossless();
+  cfg.loss_prob = 1.0;
+  cfg.max_attempts = 3;
+  cfg.retry_timeout = msec(10);
+  cfg.retry_backoff = 2.0;
+
+  int deliveries = 0;
+  std::vector<std::uint64_t> expired;
+  Channel& ch = cp_.make_channel(
+      "t.blackhole", [&](std::uint64_t, std::any&) { ++deliveries; }, cfg);
+  ch.set_on_expire([&](std::uint64_t seq) {
+    expired.push_back(seq);
+    EXPECT_EQ(sched_.now(), msec(70));  // 10 + 20 + 40 (backoff x2 each)
+  });
+
+  ch.send(std::any(std::string("doomed")));
+  sched_.run_until(sec(5));
+
+  EXPECT_EQ(deliveries, 0);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 1u);
+  const auto& c = ch.counters();
+  EXPECT_EQ(c.sent, 1u);
+  EXPECT_EQ(c.lost, 3u);     // one per attempt
+  EXPECT_EQ(c.retries, 2u);  // attempts 2 and 3
+  EXPECT_EQ(c.expired, 1u);
+  EXPECT_EQ(c.delivered, 0u);
+  EXPECT_EQ(ch.in_flight(), 0u);
+}
+
+TEST_F(TransportTest, BackoffIsCappedAtMaxRetryTimeout) {
+  ChannelConfig cfg = lossless();
+  cfg.loss_prob = 1.0;
+  cfg.max_attempts = 4;
+  cfg.retry_timeout = msec(10);
+  cfg.retry_backoff = 10.0;
+  cfg.max_retry_timeout = msec(20);
+
+  TimeNs expired_at = -1;
+  Channel& ch =
+      cp_.make_channel("t.cap", [](std::uint64_t, std::any&) {}, cfg);
+  ch.set_on_expire([&](std::uint64_t) { expired_at = sched_.now(); });
+
+  ch.send(std::any(0));
+  sched_.run_until(sec(5));
+  // Timers: 10, then capped at 20, 20, 20 -> expiry at 70ms, not 10+100+...
+  EXPECT_EQ(expired_at, msec(70));
+}
+
+TEST_F(TransportTest, FullWindowDropsOldestMessage) {
+  ChannelConfig cfg = lossless();
+  cfg.max_in_flight = 2;
+
+  std::vector<int> bodies;
+  std::vector<std::uint64_t> expired;
+  Channel& ch = cp_.make_channel(
+      "t.window",
+      [&](std::uint64_t, std::any& p) {
+        bodies.push_back(std::any_cast<int>(p));
+      },
+      cfg);
+  ch.set_on_expire([&](std::uint64_t seq) { expired.push_back(seq); });
+
+  ch.send(std::any(1));
+  ch.send(std::any(2));
+  ch.send(std::any(3));  // evicts seq 1 (latest-wins backpressure)
+  EXPECT_EQ(ch.in_flight(), 2u);
+
+  sched_.run_until(sec(1));
+  EXPECT_EQ(bodies, (std::vector<int>{2, 3}));
+  EXPECT_EQ(expired, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(ch.counters().dropped, 1u);
+  EXPECT_EQ(ch.counters().delivered, 2u);
+}
+
+TEST_F(TransportTest, CancelUnackedStopsDeliveryAndCountsDrops) {
+  int deliveries = 0;
+  Channel& ch = cp_.make_channel(
+      "t.cancel", [&](std::uint64_t, std::any&) { ++deliveries; }, lossless());
+
+  for (int i = 0; i < 5; ++i) ch.send(std::any(i));
+  ch.cancel_unacked();
+  EXPECT_EQ(ch.in_flight(), 0u);
+
+  sched_.run_until(sec(1));
+  EXPECT_EQ(deliveries, 0);  // queued delivery events became no-ops
+  EXPECT_EQ(ch.counters().dropped, 5u);
+  EXPECT_EQ(ch.counters().delivered, 0u);
+}
+
+TEST_F(TransportTest, NoteAppDropOnlyBumpsTheDropCounter) {
+  Channel& ch =
+      cp_.make_channel("t.appdrop", [](std::uint64_t, std::any&) {}, lossless());
+  ch.note_app_drop(3);
+  EXPECT_EQ(ch.counters().dropped, 3u);
+  EXPECT_EQ(ch.counters().sent, 0u);
+}
+
+TEST_F(TransportTest, LossyChannelCountersStayConsistent) {
+  ChannelConfig cfg = lossless();
+  cfg.loss_prob = 0.3;
+  cfg.latency_jitter = usec(25);
+  cfg.retry_timeout = msec(5);
+  cfg.max_in_flight = 4096;  // no backpressure in this test
+
+  int handler_runs = 0;
+  Channel& ch = cp_.make_channel(
+      "t.lossy", [&](std::uint64_t, std::any&) { ++handler_runs; }, cfg);
+
+  constexpr int kMsgs = 300;
+  for (int i = 0; i < kMsgs; ++i) ch.send(std::any(i));
+  sched_.run_until(sec(30));
+
+  const auto& c = ch.counters();
+  EXPECT_EQ(c.sent, kMsgs);
+  // Every message either reached the handler once or exhausted its retries.
+  EXPECT_EQ(c.delivered + c.expired, c.sent);
+  // 30% loss over 6 attempts: virtually everything gets through, with
+  // visible retry/duplicate traffic.
+  EXPECT_GT(c.delivered, static_cast<std::uint64_t>(0.95 * kMsgs));
+  EXPECT_GT(c.retries, 0u);
+  EXPECT_GT(c.lost, 0u);
+  // The handler runs once per delivery, duplicates included.
+  EXPECT_EQ(static_cast<std::uint64_t>(handler_runs),
+            c.delivered + c.duplicates);
+  EXPECT_EQ(ch.in_flight(), 0u);
+}
+
+TEST_F(TransportTest, RpcRoundTripReturnsServerResult) {
+  RpcChannel& rpc = cp_.make_rpc_channel(
+      "t.rpc",
+      [](const std::any& req) {
+        return std::any(std::any_cast<int>(req) * 2);
+      },
+      lossless());
+
+  int result = 0;
+  int fired = 0;
+  rpc.call(std::any(21), [&](std::any& rsp) {
+    ++fired;
+    result = std::any_cast<int>(rsp);
+  });
+  EXPECT_EQ(rpc.pending_calls(), 1u);
+
+  sched_.run_until(sec(1));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(rpc.pending_calls(), 0u);
+}
+
+TEST_F(TransportTest, RpcFiresEachCompletionOnceDespiteLossAndRetries) {
+  ChannelConfig cfg = lossless();
+  cfg.loss_prob = 0.4;
+  cfg.retry_timeout = msec(5);
+  cfg.max_in_flight = 4096;
+
+  int server_runs = 0;
+  RpcChannel& rpc = cp_.make_rpc_channel(
+      "t.rpc_lossy",
+      [&](const std::any& req) {
+        ++server_runs;
+        return std::any(std::any_cast<int>(req) + 1);
+      },
+      cfg);
+
+  constexpr int kCalls = 100;
+  std::vector<int> completions(kCalls, 0);
+  for (int i = 0; i < kCalls; ++i) {
+    rpc.call(std::any(i), [&completions, i](std::any& rsp) {
+      ++completions[i];
+      EXPECT_EQ(std::any_cast<int>(rsp), i + 1);
+    });
+  }
+  sched_.run_until(sec(30));
+
+  int done = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    EXPECT_LE(completions[i], 1) << "call " << i << " completed twice";
+    done += completions[i];
+  }
+  // 40% loss: a few calls may expire end-to-end, most complete exactly once.
+  EXPECT_GT(done, kCalls * 8 / 10);
+  // Retried deliveries re-ran the (idempotent) server.
+  EXPECT_GT(server_runs, done);
+  // Anything not completed was pruned when its request expired.
+  EXPECT_EQ(rpc.pending_calls(), static_cast<std::size_t>(kCalls - done));
+}
+
+TEST_F(TransportTest, RpcCancelPendingDropsCompletions) {
+  RpcChannel& rpc = cp_.make_rpc_channel(
+      "t.rpc_cancel", [](const std::any&) { return std::any(0); }, lossless());
+
+  int fired = 0;
+  rpc.call(std::any(1), [&](std::any&) { ++fired; });
+  rpc.cancel_pending();
+  sched_.run_until(sec(1));
+
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(rpc.pending_calls(), 0u);
+}
+
+TEST_F(TransportTest, DegradationAddsLatencyAndLossPlaneWide) {
+  std::vector<TimeNs> delivered_at;
+  Channel& ch = cp_.make_channel(
+      "t.degraded",
+      [&](std::uint64_t, std::any&) { delivered_at.push_back(sched_.now()); },
+      lossless());
+
+  cp_.set_degradation(msec(1), 0.0);
+  ch.send(std::any(0));
+  sched_.run_until(sec(1));
+  ASSERT_EQ(delivered_at.size(), 1u);
+  EXPECT_EQ(delivered_at[0], msec(1) + usec(50));
+
+  // Total extra loss: nothing gets through; the message expires instead.
+  cp_.set_degradation(0, 1.0);
+  ch.send(std::any(1));
+  sched_.run_until(sec(30));
+  EXPECT_EQ(delivered_at.size(), 1u);
+  EXPECT_EQ(ch.counters().expired, 1u);
+
+  // Clearing restores the configured behaviour.
+  cp_.clear_degradation();
+  ch.send(std::any(2));
+  const TimeNs sent_at = sched_.now();
+  sched_.run_until(sched_.now() + sec(1));
+  ASSERT_EQ(delivered_at.size(), 2u);
+  EXPECT_EQ(delivered_at[1], sent_at + usec(50));
+}
+
+TEST_F(TransportTest, ControlPlaneCountsItsChannels) {
+  EXPECT_EQ(cp_.num_channels(), 0u);
+  cp_.make_channel("t.a", nullptr);
+  cp_.make_rpc_channel("t.b", [](const std::any&) { return std::any(); });
+  EXPECT_EQ(cp_.num_channels(), 3u);  // one plain + req/rsp pair
+}
+
+}  // namespace
+}  // namespace rpm::transport
