@@ -10,6 +10,7 @@
 #include "core/controller.h"
 #include "fabric/fabric.h"
 #include "host/cluster.h"
+#include "obs/flight_recorder.h"
 #include "routing/ecmp.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
@@ -215,6 +216,40 @@ BENCHMARK(BM_AnalyzerShardedIngest)
     ->Args({8, 10000})
     ->Args({1, 100000})
     ->Args({8, 100000});
+
+// The Agent's per-probe hot path pays one begin_probe + ~7 record() calls.
+// range(0) is the sampling rate in per-mille (0, 1, 1000); -1 benchmarks the
+// recorder left disabled, which must collapse every call to a single branch
+// (the <2% overhead budget of the observability layer).
+void BM_FlightRecorderProbePath(benchmark::State& state) {
+  obs::FlightRecorder rec;
+  if (state.range(0) >= 0) {
+    obs::FlightRecorderConfig cfg;
+    cfg.sample_rate = static_cast<double>(state.range(0)) / 1000.0;
+    cfg.capacity = 4096;
+    rec.enable(cfg);
+  }
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    ++id;
+    // Mirrors the real instrumentation: every per-event call site is guarded
+    // by the cached sampling decision (ProbeRecord::flight_sampled /
+    // Datagram::trace_id != 0), so unsampled probes pay only begin_probe.
+    const bool sampled = rec.begin_probe(id, "tor-mesh", id);
+    if (sampled) {
+      rec.record(id, obs::ProbeEventKind::kVerbsPost);
+      rec.record(id, obs::ProbeEventKind::kSendCqe, id);
+      rec.record(id, obs::ProbeEventKind::kHop, 1, 2);
+      rec.record(id, obs::ProbeEventKind::kHop, 2, 2);
+      rec.record(id, obs::ProbeEventKind::kResponderRecv, id);
+      rec.record(id, obs::ProbeEventKind::kProberAckCqe, id);
+      rec.record(id, obs::ProbeEventKind::kCompleted, 5000, 8000);
+    }
+    benchmark::DoNotOptimize(sampled);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderProbePath)->Arg(-1)->Arg(0)->Arg(1)->Arg(1000);
 
 // The instrumented hot paths above pay one of these per event; the increment
 // must stay in the low nanoseconds (one relaxed atomic add through a cached

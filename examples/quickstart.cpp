@@ -15,6 +15,8 @@
 #include "core/rpingmesh.h"
 #include "faults/faults.h"
 #include "host/cluster.h"
+#include "obs/diagnosis.h"
+#include "obs/flight_recorder.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -71,6 +73,15 @@ int main() {
       });
   scraper.start(sec(20));
 
+  // ...and the probe flight recorder: with sample_rate 1.0 every probe's
+  // causal timeline (Agent enqueue -> RNIC CQEs -> per-hop fabric traversal
+  // -> upload attempts -> Analyzer ingest) is kept in a bounded ring.
+  obs::FlightRecorderConfig flight_cfg;
+  flight_cfg.sample_rate = 1.0;
+  flight_cfg.capacity = 1 << 15;
+  obs::recorder().enable(
+      flight_cfg, [&cluster]() -> TimeNs { return cluster.scheduler().now(); });
+
   // 3. Deploy R-Pingmesh: Controller + one Agent per host + Analyzer.
   core::RPingmesh rpm(cluster);
   rpm.start();
@@ -124,6 +135,18 @@ int main() {
   std::printf("(injected fault was on: %s)\n",
               cluster.topology().link(victim).name.c_str());
 
+  // 5b. Why does the Analyzer believe any of that? Every verdict carries an
+  // evidence chain: input probe ids, the Algorithm 1 vote tally, and every
+  // threshold compared. explain() renders it as structured JSON, and each
+  // listed probe id resolves to a full per-hop timeline in the recorder.
+  if (!rpm.analyzer().last_report()->problems.empty()) {
+    const core::Problem& first = rpm.analyzer().last_report()->problems[0];
+    const std::string receipt = rpm.analyzer().explain(first.problem_id);
+    std::printf("\n-- explain(problem_id=%llu) --\n%s\n",
+                static_cast<unsigned long long>(first.problem_id),
+                receipt.c_str());
+  }
+
   // 6. How did R-Pingmesh itself behave? Dump the self-observability
   // metrics: Agent probe volume, Analyzer pipeline cost, and the fabric
   // counters on the faulted link.
@@ -148,15 +171,44 @@ int main() {
   std::printf("\nevent loop:\n");
   print_filtered(prom, {"rpm_sim_"});
 
-  // The trace of everything above, viewable in chrome://tracing / Perfetto.
-  const std::string trace = telemetry::tracer().chrome_json();
+  // The trace of everything above — telemetry spans plus one track per
+  // sampled probe — viewable in chrome://tracing / Perfetto.
+  const std::string trace =
+      telemetry::tracer().chrome_json(obs::recorder().chrome_events());
   if (std::FILE* f = std::fopen("quickstart_trace.json", "w")) {
     std::fwrite(trace.data(), 1, trace.size(), f);
     std::fclose(f);
-    std::printf("\ntrace: %zu span events -> quickstart_trace.json\n",
-                telemetry::tracer().num_events());
+    std::printf("\ntrace: %zu span events + %llu probe timelines"
+                " -> quickstart_trace.json\n",
+                telemetry::tracer().num_events(),
+                static_cast<unsigned long long>(
+                    obs::recorder().live_timelines()));
+  }
+
+  // The flight-recorder ring and the last period's full diagnosis log, as
+  // machine-readable JSON dumps (CI validates both parse).
+  const std::string flight = obs::recorder().to_json();
+  if (std::FILE* f = std::fopen("quickstart_flight.json", "w")) {
+    std::fwrite(flight.data(), 1, flight.size(), f);
+    std::fclose(f);
+    std::printf("flight recorder: %llu/%llu probes sampled"
+                " -> quickstart_flight.json\n",
+                static_cast<unsigned long long>(
+                    obs::recorder().probes_sampled()),
+                static_cast<unsigned long long>(obs::recorder().probes_seen()));
+  }
+  if (const obs::DiagnosisLog* dlog = rpm.analyzer().last_diagnosis()) {
+    const std::string diag = obs::to_json(*dlog);
+    if (std::FILE* f = std::fopen("quickstart_diagnosis.json", "w")) {
+      std::fwrite(diag.data(), 1, diag.size(), f);
+      std::fclose(f);
+      std::printf("diagnosis log: %zu evidence chains"
+                  " -> quickstart_diagnosis.json\n",
+                  dlog->chains.size());
+    }
   }
 
   rpm.stop();
+  obs::recorder().disable();
   return 0;
 }

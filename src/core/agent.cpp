@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/flight_recorder.h"
 #include "rnic/rnic.h"
 #include "telemetry/trace.h"
 
@@ -48,10 +49,32 @@ Agent::Agent(host::Cluster& cluster, HostId host, const Controller& directory,
   metrics_.upload_records = reg.counter("rpm_agent_upload_records_total",
                                         "Probe records uploaded",
                                         {{"host", host_label}});
+  metrics_.upload_requeues = reg.counter(
+      "rpm_agent_upload_requeues_total",
+      "Expired upload batches re-queued at the application layer",
+      {{"host", host_label}});
+  // Transport observers. Attempt/ack fan out to the flight recorder (no-ops
+  // while it is disabled); expiry feeds the application-level retry.
+  upload_ch_.set_on_attempt([this](std::uint64_t seq, std::uint32_t attempt) {
+    obs::recorder().batch_event(host_.value, seq,
+                                obs::ProbeEventKind::kTransportAttempt,
+                                attempt);
+  });
+  upload_ch_.set_on_acked([this](std::uint64_t seq) {
+    obs::recorder().unbind_batch(host_.value, seq);
+  });
+  upload_ch_.set_on_expire([this](std::uint64_t seq, std::any& payload) {
+    on_upload_expired(seq, payload);
+  });
 }
 
 Agent::~Agent() {
   if (running_) stop();
+  // The channel belongs to the cluster's ControlPlane and may outlive this
+  // Agent; its callbacks must not dangle into freed state.
+  upload_ch_.set_on_attempt(nullptr);
+  upload_ch_.set_on_acked(nullptr);
+  upload_ch_.set_on_expire(nullptr);
 }
 
 bool Agent::host_down() const { return cluster_.host(host_).is_down(); }
@@ -343,6 +366,11 @@ void Agent::send_probe(std::uint32_t slot, const PinglistEntry& entry) {
   p.record.fwd_path = cache.fwd;
   p.record.rev_path = cache.rev;
   p.record.path_known = cache.known;
+  // Flight-recorder sampling decision is made once, here at probe birth;
+  // every later layer keys off the cached flag (or trace_id != 0).
+  p.record.flight_sampled = obs::recorder().begin_probe(
+      pid, probe_kind_name(entry.kind), static_cast<std::uint64_t>(p.t1_host));
+  const bool sampled = p.record.flight_sampled;
   pending_.emplace(pid, std::move(p));
 
   Wire w;
@@ -350,9 +378,11 @@ void Agent::send_probe(std::uint32_t slot, const PinglistEntry& entry) {
   w.msg = 0;
   w.reply_qpn = st.ud_qpn;
   w.prober_rnic = st.rnic.value;
+  w.sampled = sampled;
   cluster_.open_device(st.rnic).post_send_ud(
       st.ud_qpn, entry.target_gid, entry.target_qpn, entry.tuple.src_port,
-      cfg_.probe_payload_bytes, w, /*wr_id=*/pid);
+      cfg_.probe_payload_bytes, w, /*wr_id=*/pid,
+      /*trace_id=*/sampled ? pid : 0);
   ++probes_sent_;
   metrics_.probes_sent[static_cast<std::uint8_t>(entry.kind)].inc();
   if (telemetry::tracer().enabled()) {
@@ -372,6 +402,10 @@ void Agent::on_cqe(std::uint32_t slot, const rnic::Cqe& cqe) {
     // (④ — wr_id in responder_ctx_).
     if (auto it = pending_.find(cqe.wr_id); it != pending_.end()) {
       it->second.t2_rnic = cqe.timestamp;  // ②
+      if (it->second.record.flight_sampled) {
+        obs::recorder().record(cqe.wr_id, obs::ProbeEventKind::kSendCqe,
+                               static_cast<std::uint64_t>(cqe.timestamp));
+      }
       return;
     }
     if (auto it = responder_ctx_.find(cqe.wr_id);
@@ -379,6 +413,10 @@ void Agent::on_cqe(std::uint32_t slot, const rnic::Cqe& cqe) {
       // ④ is known only now — send ACK2 carrying ④-③ (§4.2.1 step 3).
       const ResponderCtx ctx = it->second;
       responder_ctx_.erase(it);
+      if (ctx.sampled) {
+        obs::recorder().record(ctx.probe_id, obs::ProbeEventKind::kAckSendCqe,
+                               static_cast<std::uint64_t>(cqe.timestamp));
+      }
       Wire w;
       w.probe_id = ctx.probe_id;
       w.msg = 2;
@@ -386,7 +424,8 @@ void Agent::on_cqe(std::uint32_t slot, const rnic::Cqe& cqe) {
       RnicState& st = rnics_[ctx.slot];
       cluster_.open_device(st.rnic).post_send_ud(
           st.ud_qpn, ctx.prober_gid, ctx.prober_qpn, ctx.src_port,
-          cfg_.probe_payload_bytes, w, next_wr_id_++);
+          cfg_.probe_payload_bytes, w, next_wr_id_++,
+          /*trace_id=*/ctx.sampled ? ctx.probe_id : 0);
       return;
     }
     return;  // ACK2 send CQE: nothing to do
@@ -412,9 +451,16 @@ void Agent::handle_probe(std::uint32_t slot, const rnic::Cqe& cqe,
   const Qpn prober_qpn = w.reply_qpn;
   const std::uint16_t src_port = cqe.tuple.src_port;
   const std::uint64_t probe_id = w.probe_id;
+  const bool sampled = w.sampled;
+  if (sampled) {
+    obs::recorder().record(probe_id, obs::ProbeEventKind::kResponderRecv,
+                           static_cast<std::uint64_t>(t3));
+    obs::recorder().record(probe_id, obs::ProbeEventKind::kResponderWake,
+                           static_cast<std::uint64_t>(wakeup));
+  }
   cluster_.scheduler().schedule_after(wakeup, [this, slot, t3, prober_gid,
                                                prober_qpn, src_port,
-                                               probe_id] {
+                                               probe_id, sampled] {
     if (!running_ || host_down()) return;
     RnicState& st = rnics_[slot];
     const std::uint64_t wr = next_wr_id_++;
@@ -425,7 +471,11 @@ void Agent::handle_probe(std::uint32_t slot, const rnic::Cqe& cqe,
     ctx.prober_qpn = prober_qpn;
     ctx.src_port = src_port;
     ctx.probe_id = probe_id;
+    ctx.sampled = sampled;
     responder_ctx_.emplace(wr, ctx);
+    if (sampled) {
+      obs::recorder().record(probe_id, obs::ProbeEventKind::kAckPosted);
+    }
     Wire ack1;
     ack1.probe_id = probe_id;
     ack1.msg = 1;
@@ -433,7 +483,8 @@ void Agent::handle_probe(std::uint32_t slot, const rnic::Cqe& cqe,
     // RC QPs services use (§5).
     cluster_.open_device(st.rnic).post_send_ud(
         st.ud_qpn, prober_gid, prober_qpn, src_port,
-        cfg_.probe_payload_bytes, ack1, wr);
+        cfg_.probe_payload_bytes, ack1, wr,
+        /*trace_id=*/sampled ? probe_id : 0);
     ++responses_sent_;
     metrics_.responses_sent.inc();
   });
@@ -444,8 +495,13 @@ void Agent::handle_ack(std::uint32_t /*slot*/, const rnic::Cqe& cqe,
   auto it = pending_.find(w.probe_id);
   if (it == pending_.end()) return;  // timed out already (late ACK)
   Pending& p = it->second;
+  const bool sampled = p.record.flight_sampled;
   if (w.msg == 1) {
     p.t5_rnic = cqe.timestamp;  // ⑤
+    if (sampled) {
+      obs::recorder().record(w.probe_id, obs::ProbeEventKind::kProberAckCqe,
+                             static_cast<std::uint64_t>(cqe.timestamp));
+    }
     // ⑥ is an application timestamp: taken once the Agent process wakes.
     const std::uint64_t pid = w.probe_id;
     cluster_.scheduler().schedule_after(
@@ -453,11 +509,20 @@ void Agent::handle_ack(std::uint32_t /*slot*/, const rnic::Cqe& cqe,
           auto pit = pending_.find(pid);
           if (pit == pending_.end()) return;
           pit->second.t6_host = cluster_.host(host_).host_now();  // ⑥
+          if (pit->second.record.flight_sampled) {
+            obs::recorder().record(
+                pid, obs::ProbeEventKind::kProberApp,
+                static_cast<std::uint64_t>(pit->second.t6_host));
+          }
           finalize_if_complete(pid);
         });
   } else if (w.msg == 2) {
     p.have_ack2 = true;
     p.record.responder_delay = w.responder_delay;  // ④-③
+    if (sampled) {
+      obs::recorder().record(w.probe_id, obs::ProbeEventKind::kAck2Recv,
+                             static_cast<std::uint64_t>(w.responder_delay));
+    }
     finalize_if_complete(w.probe_id);
   }
 }
@@ -478,6 +543,11 @@ void Agent::finalize_if_complete(std::uint64_t probe_id) {
   const auto kind = static_cast<std::uint8_t>(p.record.kind);
   metrics_.probes_completed[kind].inc();
   metrics_.rtt_ns[kind].observe(static_cast<double>(p.record.network_rtt));
+  if (p.record.flight_sampled) {
+    obs::recorder().record(probe_id, obs::ProbeEventKind::kCompleted,
+                           static_cast<std::uint64_t>(p.record.network_rtt),
+                           static_cast<std::uint64_t>(p.record.prober_delay));
+  }
   if (telemetry::tracer().enabled()) {
     telemetry::tracer().async_end("probe", probe_kind_name(p.record.kind),
                                   probe_id);
@@ -492,6 +562,9 @@ void Agent::finalize_timeout(std::uint64_t probe_id) {
   it->second.record.status = ProbeStatus::kTimeout;
   const ProbeKind kind = it->second.record.kind;
   metrics_.probe_timeouts[static_cast<std::uint8_t>(kind)].inc();
+  if (it->second.record.flight_sampled) {
+    obs::recorder().record(probe_id, obs::ProbeEventKind::kTimedOut);
+  }
   if (telemetry::tracer().enabled()) {
     telemetry::tracer().async_end("probe", probe_kind_name(kind), probe_id);
   }
@@ -525,7 +598,75 @@ void Agent::flush_outbox() {
   periods_since_flush_ = 0;
   metrics_.uploads.inc();
   metrics_.upload_records.inc(batch.records.size());
-  upload_ch_.send(std::any(std::move(batch)));
+  send_batch(std::move(batch));
+}
+
+void Agent::send_batch(UploadBatch&& batch) {
+  const std::uint64_t batch_seq = batch.seq;
+  const std::uint32_t requeues = batch.requeues;
+  const std::uint64_t n_records = batch.records.size();
+  std::vector<std::uint64_t> tracked;
+  if (obs::recorder().enabled()) {
+    for (const ProbeRecord& r : batch.records) {
+      if (r.flight_sampled) tracked.push_back(r.id);
+    }
+  }
+  // send() transmits attempt #1 synchronously — before the binding below
+  // can exist — so the attempt is recorded by hand after binding.
+  const std::uint64_t chan_seq = upload_ch_.send(std::any(std::move(batch)));
+  if (!tracked.empty()) {
+    auto& rec = obs::recorder();
+    for (std::uint64_t pid : tracked) {
+      if (requeues > 0) {
+        rec.record(pid, obs::ProbeEventKind::kRequeued, requeues);
+      } else {
+        rec.record(pid, obs::ProbeEventKind::kOutboxFlush, batch_seq,
+                   n_records);
+      }
+    }
+    rec.bind_batch(host_.value, chan_seq, std::move(tracked));
+    rec.batch_event(host_.value, chan_seq,
+                    obs::ProbeEventKind::kTransportAttempt, 1);
+  }
+}
+
+void Agent::on_upload_expired(std::uint64_t chan_seq, std::any& payload) {
+  obs::recorder().unbind_batch(host_.value, chan_seq);
+  auto* batch = std::any_cast<UploadBatch>(&payload);
+  // The payload is moved-from when the batch was delivered and later
+  // abandoned (lost-ack race with backpressure) — nothing to retry then.
+  if (batch == nullptr || batch->records.empty()) return;
+  const auto drop_for_good = [&] {
+    if (obs::recorder().enabled()) {
+      for (const ProbeRecord& r : batch->records) {
+        if (r.flight_sampled) {
+          obs::recorder().record(r.id, obs::ProbeEventKind::kUploadDropped);
+        }
+      }
+    }
+    // The transport already counted the expiry/drop; no double count here.
+  };
+  if (!running_ || host_down() || batch->requeues >= cfg_.upload_requeue_cap) {
+    drop_for_good();
+    return;
+  }
+  // Application-level retry (ROADMAP): give the batch fresh transport
+  // attempts, keeping its ORIGINAL seq so the Analyzer's (host,seq) dedup
+  // absorbs a copy that was delivered after all. Deferred because on_expire
+  // can fire from inside send() (drop-oldest backpressure) — re-entering
+  // the channel synchronously would recurse.
+  UploadBatch again = std::move(*batch);
+  ++again.requeues;
+  metrics_.upload_requeues.inc();
+  const std::uint64_t epoch = epoch_;
+  cluster_.scheduler().schedule_after(
+      0, [this, epoch, b = std::move(again)]() mutable {
+        if (!running_ || epoch != epoch_ || host_down()) {
+          upload_ch_.note_app_drop(1);
+          return;
+        }
+        send_batch(std::move(b));
+      });
 }
 
 void Agent::on_service_connect(const verbs::ModifyQpEvent& e) {

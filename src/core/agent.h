@@ -65,6 +65,11 @@ struct AgentConfig {
   // silence threshold, or healthy hosts read as down.
   std::uint32_t upload_coalesce_periods = 2;
   std::size_t upload_flush_records = 8192;
+  // Application-level retry (ROADMAP): when the transport gives up on an
+  // upload after max_attempts, the Agent re-queues the batch this many times
+  // before letting the records go. Keeps its ORIGINAL batch seq so Analyzer
+  // (host,seq) dedup absorbs any copy that did sneak through.
+  std::uint32_t upload_requeue_cap = 2;
 };
 
 class Agent {
@@ -120,6 +125,10 @@ class Agent {
     TimeNs responder_delay = 0;  // ACK2 only: ④-③
     Qpn reply_qpn;               // probe only: where ACKs go
     std::uint32_t prober_rnic = 0;
+    // Probe only: flight-recorder sampled. Lets the responder record its
+    // side (③ recv, wakeup, ACK posts) onto the probe's timeline without a
+    // recorder lookup for the unsampled common case.
+    bool sampled = false;
   };
 
   struct PathCacheEntry {
@@ -160,6 +169,12 @@ class Agent {
   void register_with_controller();
   void apply_pinglist_response(PinglistPullResponse rsp);
   void flush_outbox();
+  /// Ship one batch on the upload channel and bind its sampled probe ids to
+  /// the carrying channel message. Used by flush_outbox and requeues.
+  void send_batch(UploadBatch&& batch);
+  /// Channel on_expire: transport exhausted max_attempts (or abandoned the
+  /// message). Re-queues the batch up to upload_requeue_cap times.
+  void on_upload_expired(std::uint64_t chan_seq, std::any& payload);
   void attach_tracepoints();
   void detach_tracepoints();
   void probe_next(std::uint32_t slot, ProbeKind kind);
@@ -206,6 +221,7 @@ class Agent {
     Qpn prober_qpn;
     std::uint16_t src_port = 0;
     std::uint64_t probe_id = 0;
+    bool sampled = false;  // probe is flight-recorded
   };
   std::unordered_map<std::uint64_t, ResponderCtx> responder_ctx_;
   std::unique_ptr<sim::PeriodicTask> upload_task_;
@@ -221,6 +237,7 @@ class Agent {
     telemetry::Counter responses_sent;
     telemetry::Counter uploads;
     telemetry::Counter upload_records;
+    telemetry::Counter upload_requeues;
   };
   Metrics metrics_;
 };

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/stats.h"
+#include "obs/flight_recorder.h"
 #include "telemetry/trace.h"
 
 namespace rpm::core {
@@ -117,7 +118,16 @@ void Analyzer::ingest(HostId host, std::vector<ProbeRecord>&& records) {
   if (tap_) {
     for (const ProbeRecord& r : records) tap_(r);
   }
-  std::vector<ProbeRecord>& shard = shards_[host.value % shards_.size()];
+  const std::size_t shard_idx = host.value % shards_.size();
+  if (obs::recorder().enabled()) {
+    for (const ProbeRecord& r : records) {
+      if (r.flight_sampled) {
+        obs::recorder().record(r.id, obs::ProbeEventKind::kAnalyzerIngest,
+                               shard_idx);
+      }
+    }
+  }
+  std::vector<ProbeRecord>& shard = shards_[shard_idx];
   const std::size_t needed = shard.size() + records.size();
   if (shard.capacity() < needed) {
     // Grow geometrically: an exact-size reserve per batch would force a
@@ -166,7 +176,8 @@ void Analyzer::vote_paths(const std::vector<const ProbeRecord*>& records,
                           std::vector<LinkId>& out_links,
                           std::vector<SwitchId>& out_switches,
                           std::vector<std::pair<LinkId, std::size_t>>*
-                              top_votes) const {
+                              top_votes,
+                          obs::EvidenceChain* chain) const {
   // Algorithm 1: count traversals of each link (and switch) over the
   // anomalous probes' forward and ACK paths; return the top voted.
   std::unordered_map<std::uint32_t, std::size_t> link_votes;
@@ -204,6 +215,25 @@ void Analyzer::vote_paths(const std::vector<const ProbeRecord*>& records,
     });
     if (all.size() > 10) all.resize(10);
     *top_votes = std::move(all);
+  }
+  if (chain != nullptr) {
+    // Evidence: the full tally (descending, bounded), not just the winners —
+    // explain() must show how close the runners-up were.
+    static constexpr std::size_t kTallyCap = 64;
+    const auto fill = [](const std::unordered_map<std::uint32_t,
+                                                  std::size_t>& votes,
+                         std::vector<obs::VoteCount>& out) {
+      out.reserve(std::min(votes.size(), kTallyCap));
+      for (const auto& [id, v] : votes) out.push_back({id, v});
+      std::sort(out.begin(), out.end(),
+                [](const obs::VoteCount& a, const obs::VoteCount& b) {
+                  if (a.votes != b.votes) return a.votes > b.votes;
+                  return a.id < b.id;
+                });
+      if (out.size() > kTallyCap) out.resize(kTallyCap);
+    };
+    fill(link_votes, chain->link_votes);
+    fill(switch_votes, chain->switch_votes);
   }
 }
 
@@ -250,6 +280,38 @@ const PeriodReport& Analyzer::analyze_now() {
 
   std::vector<ProbeRecord> records = collect_shards();
   rep.records_processed = records.size();
+
+  // Diagnosis explainability (src/obs): every verdict this period gets an
+  // EvidenceChain — input probe ids, thresholds compared, Algorithm 1 vote
+  // tally, triage branch — collected into one DiagnosisLog.
+  obs::DiagnosisLog dlog;
+  dlog.period_start = rep.period_start;
+  dlog.period_end = rep.period_end;
+  const auto add_probe = [](obs::EvidenceChain& c, std::uint64_t id) {
+    ++c.total_probes;
+    if (c.probe_ids.size() < obs::kEvidenceProbeIdCap) {
+      c.probe_ids.push_back(id);
+    }
+  };
+  const auto add_probes = [&add_probe](
+                              obs::EvidenceChain& c,
+                              const std::vector<const ProbeRecord*>& ev) {
+    for (const ProbeRecord* r : ev) add_probe(c, r->id);
+  };
+  const auto add_threshold = [](obs::EvidenceChain& c, const char* name,
+                                double threshold, double observed) {
+    c.thresholds.push_back({name, threshold, observed, observed > threshold});
+  };
+  // Cross-links Problem <-> chain. Call after p.summary is final; the chain
+  // is then pushed into dlog (chains are built locally so vector growth
+  // never invalidates a reference).
+  const auto attach_evidence = [this](Problem& p, obs::EvidenceChain& c) {
+    p.problem_id = next_problem_id_++;
+    c.id = next_evidence_id_++;
+    p.evidence.id = c.id;
+    c.problem_id = p.problem_id;
+    c.summary = p.summary;
+  };
 
   metrics_.periods.inc();
   const std::uint64_t period_span =
@@ -318,6 +380,8 @@ const PeriodReport& Analyzer::analyze_now() {
   // RNIC with the worst ratio, discount every probe involving it, and
   // re-evaluate — peers polluted only by the culprit come out clean.
   std::unordered_set<std::uint32_t> anomalous_rnics;
+  // Observed timeout ratio at the moment each RNIC was blamed (evidence).
+  std::unordered_map<std::uint32_t, double> blamed_frac;
   std::unordered_map<std::uint32_t, RnicStat> per_rnic;
   for (;;) {
     per_rnic.clear();
@@ -351,6 +415,7 @@ const PeriodReport& Analyzer::analyze_now() {
     }
     if (!found) break;
     anomalous_rnics.insert(worst);
+    blamed_frac[worst] = worst_frac;
   }
 
   // Responder-delay evidence per RNIC over ALL completed probes (the greedy
@@ -433,19 +498,36 @@ const PeriodReport& Analyzer::analyze_now() {
       switch_service_evidence;  // by service id
   std::unordered_map<std::uint32_t, std::vector<const ProbeRecord*>>
       rnic_evidence;  // by rnic id
+  std::unordered_map<std::uint32_t, std::vector<std::uint64_t>> host_down_ids;
+  std::vector<std::uint64_t> qpn_reset_ids;
+  std::unordered_map<std::uint32_t, std::vector<std::uint64_t>> cpu_noise_ids;
+  const bool flight_on = obs::recorder().enabled();
   for (std::size_t i = 0; i < records.size(); ++i) {
     if (!cause[i].has_value()) continue;
     const ProbeRecord& r = records[i];
+    if (flight_on && r.flight_sampled) {
+      // Close the loop on the probe's timeline: which cause the Analyzer
+      // attributed its timeout to.
+      obs::recorder().record(r.id, obs::ProbeEventKind::kVerdict,
+                             static_cast<std::uint64_t>(*cause[i]));
+    }
     switch (*cause[i]) {
       case AnomalyCause::kHostDown:
         ++rep.timeouts_host_down;
+        host_down_ids[topo_.rnic(r.target).host.value].push_back(r.id);
         break;
       case AnomalyCause::kQpnReset:
         ++rep.timeouts_qpn_reset;
+        qpn_reset_ids.push_back(r.id);
         break;
-      case AnomalyCause::kAgentCpuNoise:
+      case AnomalyCause::kAgentCpuNoise: {
         ++rep.timeouts_agent_cpu;
+        const std::uint32_t th = topo_.rnic(r.target).host.value;
+        cpu_noise_ids[cpu_noise_hosts.contains(th) ? th
+                                                   : r.prober_host.value]
+            .push_back(r.id);
         break;
+      }
       case AnomalyCause::kRnicProblem:
         ++rep.timeouts_rnic;
         rnic_timeout_ids.insert(r.id);
@@ -473,6 +555,21 @@ const PeriodReport& Analyzer::analyze_now() {
     p.host = HostId{h};
     p.summary = "host " + topo_.host(HostId{h}).name +
                 " stopped uploading (host down)";
+    obs::EvidenceChain c;
+    c.verdict = "host-down";
+    c.triage_branch = "timeout-triage: target host silent past threshold";
+    const auto lit = last_upload_.find(h);
+    add_threshold(c, "host_silence_threshold_ns",
+                  static_cast<double>(cfg_.host_silence_threshold),
+                  static_cast<double>(lit == last_upload_.end()
+                                          ? now
+                                          : now - lit->second));
+    if (const auto idit = host_down_ids.find(h);
+        idit != host_down_ids.end()) {
+      for (std::uint64_t id : idit->second) add_probe(c, id);
+    }
+    attach_evidence(p, c);
+    dlog.chains.push_back(std::move(c));
     rep.problems.push_back(std::move(p));
   }
 
@@ -484,6 +581,19 @@ const PeriodReport& Analyzer::analyze_now() {
     p.anomalous_probes = rnic_evidence[r].size();
     p.summary = "RNIC " + topo_.rnic(RnicId{r}).name +
                 " anomalous (ToR-mesh timeout ratio exceeded)";
+    obs::EvidenceChain c;
+    c.verdict = "anomalous-rnic";
+    c.triage_branch =
+        "timeout-triage: ToR-mesh timeout ratio, greedy attribution";
+    const auto fit = blamed_frac.find(r);
+    add_threshold(c, "rnic_timeout_threshold", cfg_.rnic_timeout_threshold,
+                  fit == blamed_frac.end() ? 0.0 : fit->second);
+    add_threshold(c, "min_anomalies_for_problem",
+                  static_cast<double>(cfg_.min_anomalies_for_problem),
+                  static_cast<double>(rnic_evidence[r].size()));
+    add_probes(c, rnic_evidence[r]);
+    attach_evidence(p, c);
+    dlog.chains.push_back(std::move(c));
     rep.problems.push_back(std::move(p));
   }
 
@@ -494,6 +604,26 @@ const PeriodReport& Analyzer::analyze_now() {
     p.host = HostId{h};
     p.summary = "probe noise on " + topo_.host(HostId{h}).name +
                 " (service occupies Agent CPU)";
+    obs::EvidenceChain c;
+    c.verdict = "agent-cpu-noise";
+    c.triage_branch =
+        "timeout-triage: Fig. 6 filter (multi-RNIC simultaneous timeouts "
+        "or starved responder delays)";
+    double worst_p90 = 0.0;
+    for (auto& [rid, win] : ok_delay_by_rnic) {
+      if (topo_.rnic(RnicId{rid}).host.value == h && win.count() > 0) {
+        worst_p90 = std::max(worst_p90, win.percentile(0.9));
+      }
+    }
+    add_threshold(c, "starve_delay_threshold_ns",
+                  static_cast<double>(cfg_.starve_delay_threshold),
+                  worst_p90);
+    if (const auto idit = cpu_noise_ids.find(h);
+        idit != cpu_noise_ids.end()) {
+      for (std::uint64_t id : idit->second) add_probe(c, id);
+    }
+    attach_evidence(p, c);
+    dlog.chains.push_back(std::move(c));
     rep.problems.push_back(std::move(p));
   }
 
@@ -505,7 +635,20 @@ const PeriodReport& Analyzer::analyze_now() {
     p.anomalous_probes = ev.size();
     p.detected_by_service_tracing = from_service;
     p.service = svc;
-    vote_paths(ev, p.suspect_links, p.suspect_switches, &p.top_link_votes);
+    obs::EvidenceChain c;
+    c.verdict = "switch-network-problem";
+    c.triage_branch = from_service
+                          ? "timeout-triage: network-attributed "
+                            "(service tracing evidence)"
+                          : "timeout-triage: network-attributed "
+                            "(cluster monitoring evidence)";
+    c.service = svc.valid() ? svc.value : 0;
+    add_threshold(c, "min_anomalies_for_problem",
+                  static_cast<double>(cfg_.min_anomalies_for_problem),
+                  static_cast<double>(ev.size()));
+    add_probes(c, ev);
+    vote_paths(ev, p.suspect_links, p.suspect_switches, &p.top_link_votes,
+               &c);
     std::ostringstream os;
     os << "switch network problem (" << ev.size() << " anomalous probes"
        << (from_service ? ", service tracing" : ", cluster monitoring")
@@ -514,6 +657,8 @@ const PeriodReport& Analyzer::analyze_now() {
       os << ", top suspect link: " << topo_.link(p.suspect_links.front()).name;
     }
     p.summary = os.str();
+    attach_evidence(p, c);
+    dlog.chains.push_back(std::move(c));
     rep.problems.push_back(std::move(p));
   };
   emit_switch_problem(switch_cluster_evidence, false, ServiceId{});
@@ -528,6 +673,8 @@ const PeriodReport& Analyzer::analyze_now() {
   std::unordered_map<std::uint32_t, std::vector<const ProbeRecord*>>
       hot_service;
   std::unordered_map<std::uint32_t, PercentileWindow> host_proc_delay;
+  std::unordered_map<std::uint32_t, std::vector<std::uint64_t>>
+      proc_probe_ids;  // every probe whose delay entered the host's window
   for (const ProbeRecord& r : records) {
     if (r.status != ProbeStatus::kOk) continue;
     if (r.network_rtt > cfg_.high_rtt_threshold) {
@@ -537,8 +684,9 @@ const PeriodReport& Analyzer::analyze_now() {
         hot_cluster.push_back(&r);
       }
     }
-    host_proc_delay[topo_.rnic(r.target).host.value].add(
-        static_cast<double>(r.responder_delay));
+    const std::uint32_t th = topo_.rnic(r.target).host.value;
+    host_proc_delay[th].add(static_cast<double>(r.responder_delay));
+    proc_probe_ids[th].push_back(r.id);
   }
   const auto emit_hot = [&](std::vector<const ProbeRecord*>& ev,
                             bool from_service, ServiceId svc) {
@@ -548,7 +696,22 @@ const PeriodReport& Analyzer::analyze_now() {
     p.anomalous_probes = ev.size();
     p.detected_by_service_tracing = from_service;
     p.service = svc;
-    vote_paths(ev, p.suspect_links, p.suspect_switches, &p.top_link_votes);
+    obs::EvidenceChain c;
+    c.verdict = "high-network-rtt";
+    c.triage_branch = "bottleneck scan: completed probes above RTT threshold";
+    c.service = svc.valid() ? svc.value : 0;
+    double worst_rtt = 0.0;
+    for (const ProbeRecord* r : ev) {
+      worst_rtt = std::max(worst_rtt, static_cast<double>(r->network_rtt));
+    }
+    add_threshold(c, "high_rtt_threshold_ns",
+                  static_cast<double>(cfg_.high_rtt_threshold), worst_rtt);
+    add_threshold(c, "min_anomalies_for_problem",
+                  static_cast<double>(cfg_.min_anomalies_for_problem),
+                  static_cast<double>(ev.size()));
+    add_probes(c, ev);
+    vote_paths(ev, p.suspect_links, p.suspect_switches, &p.top_link_votes,
+               &c);
     std::ostringstream os;
     os << "network congestion: " << ev.size() << " probes above RTT threshold"
        << (from_service ? " (service tracing)" : " (cluster monitoring)");
@@ -556,6 +719,8 @@ const PeriodReport& Analyzer::analyze_now() {
       os << ", hottest link: " << topo_.link(p.suspect_links.front()).name;
     }
     p.summary = os.str();
+    attach_evidence(p, c);
+    dlog.chains.push_back(std::move(c));
     rep.problems.push_back(std::move(p));
   };
   emit_hot(hot_cluster, false, ServiceId{});
@@ -577,6 +742,18 @@ const PeriodReport& Analyzer::analyze_now() {
          << ": p90 processing delay "
          << win.percentile(0.9) / 1e6 << " ms";
       p.summary = os.str();
+      obs::EvidenceChain c;
+      c.verdict = "high-processing-delay";
+      c.triage_branch = "bottleneck scan: responder processing delay P90";
+      add_threshold(c, "high_proc_delay_threshold_ns",
+                    static_cast<double>(cfg_.high_proc_delay_threshold),
+                    win.percentile(0.9));
+      if (const auto idit = proc_probe_ids.find(h);
+          idit != proc_probe_ids.end()) {
+        for (std::uint64_t id : idit->second) add_probe(c, id);
+      }
+      attach_evidence(p, c);
+      dlog.chains.push_back(std::move(c));
       rep.problems.push_back(std::move(p));
     }
   }
@@ -588,6 +765,14 @@ const PeriodReport& Analyzer::analyze_now() {
     p.priority = Priority::kNoise;
     p.anomalous_probes = rep.timeouts_qpn_reset;
     p.summary = "QPN-reset probe noise (stale pinglists after Agent restart)";
+    obs::EvidenceChain c;
+    c.verdict = "qpn-reset-noise";
+    c.triage_branch =
+        "timeout-triage: probe addressed a QPN older than the Controller's "
+        "freshest registration";
+    for (std::uint64_t id : qpn_reset_ids) add_probe(c, id);
+    attach_evidence(p, c);
+    dlog.chains.push_back(std::move(c));
     rep.problems.push_back(std::move(p));
   }
 
@@ -609,6 +794,38 @@ const PeriodReport& Analyzer::analyze_now() {
   for (auto& [svc, recs] : service_records) {
     rep.service_slas.emplace_back(
         ServiceId{svc}, make_sla(recs, rnic_timeout_ids, switch_timeout_ids));
+  }
+  if (rep.cluster_sla.rnic_drop_rate > 0.0 ||
+      rep.cluster_sla.switch_drop_rate > 0.0) {
+    // SLA violation: network-attributed drops are never in budget. The chain
+    // samples the offending probe ids so explain() leads straight to flight
+    // timelines.
+    obs::EvidenceChain c;
+    c.id = next_evidence_id_++;
+    c.verdict = "sla-violation";
+    c.triage_branch = "sla: network-attributed drop rate above target";
+    add_threshold(c, "network_drop_rate_target", 0.0,
+                  rep.cluster_sla.rnic_drop_rate +
+                      rep.cluster_sla.switch_drop_rate);
+    add_threshold(c, "high_rtt_threshold_ns",
+                  static_cast<double>(cfg_.high_rtt_threshold),
+                  rep.cluster_sla.rtt_p99);
+    c.total_probes = rep.cluster_sla.probes;
+    for (const ProbeRecord* r : cluster_records) {
+      if (c.probe_ids.size() >= obs::kEvidenceProbeIdCap) break;
+      if (rnic_timeout_ids.contains(r->id) ||
+          switch_timeout_ids.contains(r->id)) {
+        c.probe_ids.push_back(r->id);
+      }
+    }
+    std::ostringstream os;
+    os << "cluster SLA violated: network-attributed drop rate "
+       << (rep.cluster_sla.rnic_drop_rate +
+           rep.cluster_sla.switch_drop_rate)
+       << " over " << rep.cluster_sla.probes << " probes";
+    c.summary = os.str();
+    rep.cluster_sla.evidence.id = c.id;
+    dlog.chains.push_back(std::move(c));
   }
 
   // ---- step 6: impact (needs the service networks from this period) ----
@@ -679,6 +896,34 @@ const PeriodReport& Analyzer::analyze_now() {
                                                      : Priority::kP1;
   }
 
+  // Per-service "network innocent" verdicts (§4.3.4): no P0/P1 problem in
+  // the service's network this period — exoneration gets receipts too.
+  for (const ServiceBinding& b : services_) {
+    bool guilty = false;
+    for (const Problem& p : rep.problems) {
+      if ((p.priority == Priority::kP0 || p.priority == Priority::kP1) &&
+          p.service == b.id) {
+        guilty = true;
+        break;
+      }
+    }
+    if (guilty) continue;
+    obs::EvidenceChain c;
+    c.id = next_evidence_id_++;
+    c.verdict = "network-innocent";
+    c.triage_branch = "impact: no P0/P1 problem inside the service network";
+    c.service = b.id.value;
+    add_threshold(c, "degradation_threshold", cfg_.degradation_threshold,
+                  b.metric());
+    if (const auto sit = service_records.find(b.id.value);
+        sit != service_records.end()) {
+      add_probes(c, sit->second);
+    }
+    c.summary = "network innocent for service " + std::to_string(b.id.value) +
+                " this period";
+    dlog.chains.push_back(std::move(c));
+  }
+
   enter_stage(-1);
   telemetry::tracer().end_span(period_span);
 
@@ -699,7 +944,26 @@ const PeriodReport& Analyzer::analyze_now() {
 
   history_.push_back(std::move(rep));
   while (history_.size() > cfg_.history_limit) history_.pop_front();
+  diagnosis_.push_back(std::move(dlog));
+  while (diagnosis_.size() > cfg_.history_limit) diagnosis_.pop_front();
   return history_.back();
+}
+
+std::string Analyzer::explain(std::uint64_t problem_id) const {
+  for (auto it = diagnosis_.rbegin(); it != diagnosis_.rend(); ++it) {
+    if (const obs::EvidenceChain* c = it->find_problem(problem_id)) {
+      return obs::to_json(*c);
+    }
+  }
+  return {};
+}
+
+const obs::EvidenceChain* Analyzer::evidence(EvidenceRef ref) const {
+  if (!ref.valid()) return nullptr;
+  for (auto it = diagnosis_.rbegin(); it != diagnosis_.rend(); ++it) {
+    if (const obs::EvidenceChain* c = it->find(ref.id)) return c;
+  }
+  return nullptr;
 }
 
 bool Analyzer::network_innocent(ServiceId service) const {

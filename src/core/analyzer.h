@@ -37,6 +37,7 @@
 
 #include "core/controller.h"
 #include "core/types.h"
+#include "obs/diagnosis.h"
 #include "sim/scheduler.h"
 #include "telemetry/metrics.h"
 #include "topo/topology.h"
@@ -112,6 +113,25 @@ class Analyzer {
   /// this service — the network is innocent of the service's woes.
   [[nodiscard]] bool network_innocent(ServiceId service) const;
 
+  // ---- diagnosis explainability (src/obs) ----
+
+  /// Render the evidence chain behind a Problem as structured JSON: input
+  /// probe ids, Algorithm 1 vote tally, thresholds compared, triage branch.
+  /// Searches newest-first; empty string when the id is unknown (or its
+  /// period aged out of the history window).
+  [[nodiscard]] std::string explain(std::uint64_t problem_id) const;
+
+  /// Resolve an EvidenceRef (Problem::evidence, SlaReport::evidence).
+  [[nodiscard]] const obs::EvidenceChain* evidence(EvidenceRef ref) const;
+
+  [[nodiscard]] const obs::DiagnosisLog* last_diagnosis() const {
+    return diagnosis_.empty() ? nullptr : &diagnosis_.back();
+  }
+  [[nodiscard]] const std::deque<obs::DiagnosisLog>& diagnosis_history()
+      const {
+    return diagnosis_;
+  }
+
   [[nodiscard]] const AnalyzerConfig& config() const { return cfg_; }
 
  private:
@@ -123,7 +143,8 @@ class Analyzer {
                   std::vector<LinkId>& out_links,
                   std::vector<SwitchId>& out_switches,
                   std::vector<std::pair<LinkId, std::size_t>>* top_votes =
-                      nullptr) const;
+                      nullptr,
+                  obs::EvidenceChain* chain = nullptr) const;
   void assess_impact(PeriodReport& report) const;
   SlaReport make_sla(const std::vector<const ProbeRecord*>& records,
                      const std::unordered_set<std::uint64_t>& rnic_timeouts,
@@ -152,6 +173,10 @@ class Analyzer {
   std::unordered_map<std::uint32_t, TimeNs> rnic_blamed_until_;
   std::vector<ServiceBinding> services_;
   std::deque<PeriodReport> history_;
+  // One DiagnosisLog per period, trimmed in lockstep with history_.
+  std::deque<obs::DiagnosisLog> diagnosis_;
+  std::uint64_t next_evidence_id_ = 1;
+  std::uint64_t next_problem_id_ = 1;
   TimeNs last_period_end_ = 0;
   std::unique_ptr<sim::PeriodicTask> period_task_;
 

@@ -1,9 +1,45 @@
 #include "core/rootcause.h"
 
+#include <cstdio>
+
 #include <algorithm>
 #include <sstream>
 
 namespace rpm::core {
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string hints_json(const std::vector<RootCauseHint>& hints) {
+  std::string out = "[";
+  bool first = true;
+  char buf[40];
+  for (const RootCauseHint& h : hints) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"cause\":\"";
+    append_json_escaped(out, h.cause);
+    std::snprintf(buf, sizeof(buf), "\",\"confidence\":%.3f", h.confidence);
+    out += buf;
+    out += ",\"evidence\":\"";
+    append_json_escaped(out, h.evidence);
+    out += "\"}";
+  }
+  out += ']';
+  return out;
+}
 
 RootCauseAdvisor::RootCauseAdvisor(host::Cluster& cluster)
     : cluster_(cluster),

@@ -68,6 +68,10 @@ struct ProbeRecord {
   routing::Path fwd_path;
   routing::Path rev_path;
   bool path_known = false;
+  // Set at probe birth when the flight recorder sampled this probe: every
+  // later layer (Analyzer ingest/verdict) records onto its timeline with a
+  // single flag check instead of a hash lookup.
+  bool flight_sampled = false;
 };
 
 /// Final categorization of an anomalous probe (§4.3).
@@ -103,8 +107,21 @@ enum class ProblemCategory : std::uint8_t {
 
 const char* problem_category_name(ProblemCategory c);
 
+/// Reference into the per-period obs::DiagnosisLog: the evidence chain
+/// (input probe ids, Algorithm 1 vote tally, thresholds compared, triage
+/// branch) behind a verdict. Resolve with Analyzer::evidence() or render
+/// with Analyzer::explain(problem_id).
+struct EvidenceRef {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
 /// A detected-and-located problem emitted by the Analyzer each period.
 struct Problem {
+  /// Analyzer-unique id (monotone across periods); key for explain().
+  std::uint64_t problem_id = 0;
+  /// Evidence chain backing this verdict in the period's DiagnosisLog.
+  EvidenceRef evidence;
   ProblemCategory category{};
   Priority priority = Priority::kP2;
   // Location (whichever fields apply):
@@ -134,6 +151,9 @@ struct SlaReport {
   double rtt_mean = 0;
   double rtt_p50 = 0, rtt_p90 = 0, rtt_p99 = 0, rtt_p999 = 0;
   double proc_p50 = 0, proc_p90 = 0, proc_p99 = 0, proc_p999 = 0;
+  /// Set when this SLA window violated a target (network-attributed drops or
+  /// RTT tail over threshold); points at the violation's evidence chain.
+  EvidenceRef evidence;
 };
 
 // ---- control-plane wire messages (src/transport payloads) ----
@@ -145,6 +165,9 @@ struct SlaReport {
 struct UploadBatch {
   HostId host;
   std::uint64_t seq = 0;
+  /// Times the Agent re-queued this batch after transport expiry (rides the
+  /// wire like a retry header; the Analyzer ignores it — dedup is by seq).
+  std::uint32_t requeues = 0;
   std::vector<ProbeRecord> records;
 };
 

@@ -1,5 +1,7 @@
 #include "fabric/fabric.h"
 
+#include "obs/flight_recorder.h"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -181,6 +183,15 @@ SendOutcome Fabric::send(const Datagram& dgram) {
   sends_total_.inc();
   SendOutcome out;
   out.path = current_path(dgram.src, dgram.dst, dgram.tuple);
+  // Flight-recorder hook: one compare against 0 on the untracked fast path.
+  const bool traced = dgram.trace_id != 0 && obs::recorder().enabled();
+  const auto trace_drop = [&] {
+    if (traced) {
+      obs::recorder().record(dgram.trace_id, obs::ProbeEventKind::kFabricDrop,
+                             static_cast<std::uint64_t>(out.drop),
+                             out.drop_link.value);
+    }
+  };
 
   if (!out.path.complete) {
     // Either the very first hop was down, the last hop was down, or ECMP had
@@ -201,6 +212,7 @@ SendOutcome Fabric::send(const Datagram& dgram) {
     }
     links_[out.drop_link.value].drops_down++;
     count_drop(out.drop);
+    trace_drop();
     return out;
   }
 
@@ -224,6 +236,7 @@ SendOutcome Fabric::send(const Datagram& dgram) {
       out.drop_link = lid;
       s.drops_down++;
       count_drop(out.drop);
+      trace_drop();
       return out;
     }
     if (s.deadlocked && roce_class) {
@@ -231,6 +244,7 @@ SendOutcome Fabric::send(const Datagram& dgram) {
       out.drop_link = lid;
       s.drops_down++;
       count_drop(out.drop);
+      trace_drop();
       return out;
     }
     if (s.corrupt_prob > 0.0 && rng_.chance(s.corrupt_prob)) {
@@ -238,6 +252,7 @@ SendOutcome Fabric::send(const Datagram& dgram) {
       out.drop_link = lid;
       s.drops_corrupt++;
       count_drop(out.drop);
+      trace_drop();
       return out;
     }
     if (roce_class && s.overflow_drop_frac > 0.0 &&
@@ -246,6 +261,7 @@ SendOutcome Fabric::send(const Datagram& dgram) {
       out.drop_link = lid;
       s.drops_overflow++;
       count_drop(out.drop);
+      trace_drop();
       return out;
     }
 
@@ -255,6 +271,13 @@ SendOutcome Fabric::send(const Datagram& dgram) {
     latency += l.propagation + serialization;
     if (roce_class) latency += link_queue_delay(lid);
 
+    if (traced) {
+      // Per-hop traversal: a = link id, b = cumulative one-way latency so
+      // far (propagation + serialization + queueing up to this hop).
+      obs::recorder().record(dgram.trace_id, obs::ProbeEventKind::kHop,
+                             lid.value, static_cast<std::uint64_t>(latency));
+    }
+
     // ACL is evaluated at the switch the packet just arrived at.
     if (i < out.path.switches.size()) {
       const SwitchId sw = out.path.switches[i];
@@ -262,6 +285,7 @@ SendOutcome Fabric::send(const Datagram& dgram) {
         out.drop = DropReason::kAclDeny;
         out.drop_switch = sw;
         count_drop(out.drop);
+        trace_drop();
         return out;
       }
     }

@@ -60,6 +60,11 @@ struct Datagram {
   Qpn src_qpn;
   Qpn dst_qpn;
   std::uint64_t wr_tag = 0;  // sender work-request id (echoed by RC HW ACKs)
+  // Flight-recorder correlation key (0 = untracked). A sampled probe carries
+  // its probe id here so the fabric can record per-hop traversal and drop
+  // events onto the probe's timeline; the per-hop check is a single compare
+  // against 0 for the (overwhelmingly common) untracked case.
+  std::uint64_t trace_id = 0;
   std::any payload;          // opaque to the fabric; typed by the verbs layer
 };
 

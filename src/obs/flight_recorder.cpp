@@ -1,0 +1,275 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rpm::obs {
+
+const char* probe_event_name(ProbeEventKind k) {
+  switch (k) {
+    case ProbeEventKind::kEnqueued: return "agent-enqueue";
+    case ProbeEventKind::kVerbsPost: return "verbs-post";
+    case ProbeEventKind::kSendCqe: return "send-cqe(2)";
+    case ProbeEventKind::kHop: return "fabric-hop";
+    case ProbeEventKind::kFabricDrop: return "fabric-drop";
+    case ProbeEventKind::kResponderRecv: return "responder-recv-cqe(3)";
+    case ProbeEventKind::kResponderWake: return "responder-wakeup";
+    case ProbeEventKind::kAckPosted: return "ack1-posted";
+    case ProbeEventKind::kAckSendCqe: return "ack1-send-cqe(4)";
+    case ProbeEventKind::kProberAckCqe: return "prober-ack-cqe(5)";
+    case ProbeEventKind::kProberApp: return "prober-app(6)";
+    case ProbeEventKind::kAck2Recv: return "ack2-recv";
+    case ProbeEventKind::kCompleted: return "completed";
+    case ProbeEventKind::kTimedOut: return "timed-out";
+    case ProbeEventKind::kOutboxFlush: return "outbox-flush";
+    case ProbeEventKind::kTransportAttempt: return "transport-attempt";
+    case ProbeEventKind::kRequeued: return "upload-requeued";
+    case ProbeEventKind::kUploadDropped: return "upload-dropped";
+    case ProbeEventKind::kAnalyzerIngest: return "analyzer-ingest";
+    case ProbeEventKind::kVerdict: return "analyzer-verdict";
+  }
+  return "?";
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void FlightRecorder::enable(FlightRecorderConfig cfg, ClockFn clock) {
+  cfg_ = cfg;
+  if (cfg_.capacity == 0) cfg_.capacity = 1;
+  clock_ = std::move(clock);
+  rng_ = Rng(cfg_.seed);
+  fallback_tick_ = 0;
+  ring_.assign(cfg_.capacity, ProbeTimeline{});
+  next_slot_ = 0;
+  index_.clear();
+  bindings_.clear();
+  binding_order_.clear();
+  seen_ = sampled_ = evicted_ = dropped_ = 0;
+  auto& reg = telemetry::registry();
+  m_sampled_ = reg.counter("rpm_obs_probes_sampled_total",
+                           "Probes whose timeline the flight recorder kept");
+  m_events_ = reg.counter("rpm_obs_events_total",
+                          "Timeline events recorded across all probes");
+  m_evicted_ = reg.counter("rpm_obs_timelines_evicted_total",
+                           "Sampled timelines evicted by ring capacity");
+  m_dropped_ = reg.counter(
+      "rpm_obs_events_dropped_total",
+      "Events discarded by the per-probe event cap");
+  enabled_ = true;
+}
+
+void FlightRecorder::disable() {
+  enabled_ = false;
+  clock_ = {};
+  ring_.clear();
+  ring_.shrink_to_fit();
+  index_.clear();
+  bindings_.clear();
+  binding_order_.clear();
+  next_slot_ = 0;
+}
+
+TimeNs FlightRecorder::stamp() {
+  // Without a clock, fall back to a deterministic tick — never wall time,
+  // which would break the byte-identical-histories determinism guarantee.
+  return clock_ ? clock_() : ++fallback_tick_;
+}
+
+bool FlightRecorder::begin_probe(std::uint64_t probe_id,
+                                 const char* kind_name, std::uint64_t t1) {
+  if (!enabled_) return false;
+  ++seen_;
+  if (!rng_.chance(cfg_.sample_rate)) return false;
+  ++sampled_;
+  m_sampled_.inc();
+  const std::size_t slot = next_slot_;
+  next_slot_ = (next_slot_ + 1) % ring_.size();
+  ProbeTimeline& tl = ring_[slot];
+  if (tl.probe_id != 0) {
+    index_.erase(tl.probe_id);
+    ++evicted_;
+    m_evicted_.inc();
+  }
+  tl.probe_id = probe_id;
+  tl.kind_name = kind_name != nullptr ? kind_name : "";
+  tl.events.clear();
+  index_[probe_id] = slot;
+  record_slow(probe_id, ProbeEventKind::kEnqueued, t1, 0);
+  return true;
+}
+
+void FlightRecorder::record_slow(std::uint64_t probe_id, ProbeEventKind k,
+                                 std::uint64_t a, std::uint64_t b) {
+  const auto it = index_.find(probe_id);
+  if (it == index_.end()) return;  // never sampled, or evicted since
+  ProbeTimeline& tl = ring_[it->second];
+  if (tl.events.size() >= cfg_.max_events_per_probe) {
+    ++dropped_;
+    m_dropped_.inc();
+    return;
+  }
+  TimelineEvent e;
+  e.t = stamp();
+  e.kind = k;
+  e.a = a;
+  e.b = b;
+  tl.events.push_back(e);
+  m_events_.inc();
+}
+
+void FlightRecorder::bind_batch(std::uint64_t owner_tag,
+                                std::uint64_t chan_seq,
+                                std::vector<std::uint64_t> probe_ids) {
+  if (!enabled_ || probe_ids.empty()) return;
+  const auto key = std::make_pair(owner_tag, chan_seq);
+  if (!bindings_.contains(key)) {
+    binding_order_.push_back(key);
+    while (binding_order_.size() > cfg_.max_batch_bindings) {
+      bindings_.erase(binding_order_.front());
+      binding_order_.pop_front();
+    }
+  }
+  bindings_[key].probe_ids = std::move(probe_ids);
+}
+
+void FlightRecorder::batch_event(std::uint64_t owner_tag,
+                                 std::uint64_t chan_seq, ProbeEventKind k,
+                                 std::uint64_t a) {
+  if (!enabled_) return;
+  const auto it = bindings_.find(std::make_pair(owner_tag, chan_seq));
+  if (it == bindings_.end()) return;
+  for (std::uint64_t pid : it->second.probe_ids) record_slow(pid, k, a, 0);
+}
+
+void FlightRecorder::unbind_batch(std::uint64_t owner_tag,
+                                  std::uint64_t chan_seq) {
+  if (!enabled_) return;
+  bindings_.erase(std::make_pair(owner_tag, chan_seq));
+  // binding_order_ keeps a stale key until it cycles out; erase is idempotent.
+}
+
+const ProbeTimeline* FlightRecorder::timeline(std::uint64_t probe_id) const {
+  const auto it = index_.find(probe_id);
+  return it == index_.end() ? nullptr : &ring_[it->second];
+}
+
+std::vector<const ProbeTimeline*> FlightRecorder::timelines() const {
+  std::vector<const ProbeTimeline*> out;
+  out.reserve(index_.size());
+  // Oldest first: walk the ring from next_slot_ (the next eviction victim).
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const ProbeTimeline& tl = ring_[(next_slot_ + i) % ring_.size()];
+    if (tl.probe_id != 0 && index_.contains(tl.probe_id)) out.push_back(&tl);
+  }
+  return out;
+}
+
+std::string FlightRecorder::to_json() const {
+  std::string out = "{\"config\":{\"sample_rate\":";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", cfg_.sample_rate);
+  out += buf;
+  out += ",\"capacity\":" + std::to_string(cfg_.capacity) + "}";
+  out += ",\"probes_seen\":" + std::to_string(seen_);
+  out += ",\"probes_sampled\":" + std::to_string(sampled_);
+  out += ",\"evicted\":" + std::to_string(evicted_);
+  out += ",\"dropped_events\":" + std::to_string(dropped_);
+  out += ",\"timelines\":[";
+  bool first = true;
+  for (const ProbeTimeline* tl : timelines()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"probe_id\":" + std::to_string(tl->probe_id) + ",\"kind\":\"";
+    append_json_escaped(out, tl->kind_name);
+    out += "\",\"closed\":";
+    out += tl->closed() ? "true" : "false";
+    out += ",\"events\":[";
+    bool efirst = true;
+    for (const TimelineEvent& e : tl->events) {
+      if (!efirst) out += ',';
+      efirst = false;
+      out += "{\"t\":" + std::to_string(e.t) + ",\"event\":\"";
+      append_json_escaped(out, probe_event_name(e.kind));
+      out += "\",\"a\":" + std::to_string(e.a) +
+             ",\"b\":" + std::to_string(e.b) + '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FlightRecorder::chrome_events() const {
+  // Trace Event Format 'X' spans, ts/dur in microseconds. pid 2 keeps the
+  // probe tracks separate from the telemetry tracer's span track (pid 1);
+  // tid = ring slot gives every sampled probe its own row. The probe's whole
+  // life is the outer span; each layer crossing nests inside it (chrome
+  // nests same-tid 'X' events by containment).
+  std::string out;
+  char buf[64];
+  const auto emit = [&](const char* name, const char* args_kind,
+                        std::uint64_t probe_id, std::size_t tid, TimeNs ts,
+                        TimeNs dur) {
+    if (!out.empty()) out += ',';
+    out += "{\"name\":\"";
+    append_json_escaped(out, name);
+    out += "\",\"cat\":\"probe\",\"ph\":\"X\",\"pid\":2,\"tid\":" +
+           std::to_string(tid);
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<double>(ts) / 1e3,
+                  static_cast<double>(dur) / 1e3);
+    out += buf;
+    out += ",\"args\":{\"probe_id\":" + std::to_string(probe_id) +
+           ",\"kind\":\"";
+    append_json_escaped(out, args_kind);
+    out += "\"}}";
+  };
+  for (const ProbeTimeline* tl : timelines()) {
+    if (tl->events.empty()) continue;
+    const auto it = index_.find(tl->probe_id);
+    const std::size_t tid = it == index_.end() ? 0 : it->second;
+    const TimeNs begin = tl->events.front().t;
+    const TimeNs end = tl->events.back().t;
+    std::string outer = "probe ";
+    outer += std::to_string(tl->probe_id);
+    emit(outer.c_str(), tl->kind_name, tl->probe_id, tid, begin,
+         std::max<TimeNs>(end - begin, 1));
+    for (std::size_t i = 1; i < tl->events.size(); ++i) {
+      const TimelineEvent& prev = tl->events[i - 1];
+      const TimelineEvent& cur = tl->events[i];
+      emit(probe_event_name(cur.kind), tl->kind_name, tl->probe_id, tid,
+           prev.t, std::max<TimeNs>(cur.t - prev.t, 1));
+    }
+  }
+  return out;
+}
+
+FlightRecorder& recorder() {
+  static FlightRecorder* instance = new FlightRecorder();
+  return *instance;
+}
+
+}  // namespace rpm::obs

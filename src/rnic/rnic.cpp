@@ -144,7 +144,8 @@ void RnicDevice::wire_send(Qp& qp, const fabric::Datagram& d,
 
 void RnicDevice::post_send_ud(Qpn qpn, Gid dst_gid, Qpn dst_qpn,
                               std::uint16_t src_port, Bytes size,
-                              std::any payload, std::uint64_t wr_id) {
+                              std::any payload, std::uint64_t wr_id,
+                              std::uint64_t trace_id) {
   Qp* qp = find_qp(qpn);
   if (qp == nullptr) throw std::out_of_range("post_send_ud: unknown QPN");
   if (qp->cfg.type != QpType::kUD) {
@@ -164,6 +165,7 @@ void RnicDevice::post_send_ud(Qpn qpn, Gid dst_gid, Qpn dst_qpn,
   d.size = size;
   d.src_qpn = qpn;
   d.dst_qpn = dst_qpn;
+  d.trace_id = trace_id;
   d.payload = std::move(payload);
   wire_send(*qp, d, wr_id, /*gen_send_cqe_now=*/true);
 }

@@ -128,8 +128,12 @@ class RnicDevice {
                   std::uint16_t src_port);
 
   /// UD send to an explicit destination (address handle + remote QPN).
+  /// `trace_id` (0 = untracked) is the flight-recorder correlation key
+  /// copied into the outgoing Datagram so the fabric can attribute per-hop
+  /// events to a sampled probe.
   void post_send_ud(Qpn qpn, Gid dst_gid, Qpn dst_qpn, std::uint16_t src_port,
-                    Bytes size, std::any payload, std::uint64_t wr_id);
+                    Bytes size, std::any payload, std::uint64_t wr_id,
+                    std::uint64_t trace_id = 0);
 
   /// Send on a connected (RC/UC) QP.
   void post_send_connected(Qpn qpn, Bytes size, std::any payload,

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 namespace rpm::telemetry {
@@ -23,6 +24,36 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+// Prometheus exposition format: inside a label value, backslash, double
+// quote, and newline MUST be escaped (\\, \", \n) or the scrape breaks.
+std::string prom_escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// HELP text escaping: backslash and newline only (quotes are legal there).
+std::string prom_escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string prometheus_labels(const Labels& labels, const char* extra_key,
                               const char* extra_value) {
   if (labels.empty() && extra_key == nullptr) return {};
@@ -33,7 +64,7 @@ std::string prometheus_labels(const Labels& labels, const char* extra_key,
     first = false;
     out += l.key;
     out += "=\"";
-    out += l.value;
+    out += prom_escape_label(l.value);
     out += '"';
   }
   if (extra_key != nullptr) {
@@ -61,8 +92,21 @@ std::string json_escape(const std::string& s) {
       case '\n':
         out += "\\n";
         break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
       default:
-        out += c;
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;
@@ -72,17 +116,18 @@ std::string json_escape(const std::string& s) {
 
 std::string to_prometheus(const Snapshot& snap) {
   std::string out;
-  const std::string* prev_family = nullptr;
+  // # HELP / # TYPE exactly once per family, even if the snapshot ever
+  // interleaves families (the usual sorted order makes the set a no-op).
+  std::unordered_set<std::string> emitted_families;
   for (const SeriesSample& s : snap.series) {
-    if (prev_family == nullptr || *prev_family != s.name) {
+    if (emitted_families.insert(s.name).second) {
       if (!s.help.empty()) {
-        out += "# HELP " + s.name + ' ' + s.help + '\n';
+        out += "# HELP " + s.name + ' ' + prom_escape_help(s.help) + '\n';
       }
       out += "# TYPE " + s.name + ' ';
       out += s.type == MetricType::kHistogram ? "summary"
                                               : metric_type_name(s.type);
       out += '\n';
-      prev_family = &s.name;
     }
     switch (s.type) {
       case MetricType::kCounter:

@@ -155,6 +155,18 @@ std::string Tracer::chrome_json() const {
   return out;
 }
 
+std::string Tracer::chrome_json(const std::string& extra_events) const {
+  if (extra_events.empty()) return chrome_json();
+  std::string out = chrome_json();
+  // Splice the extra events in before the closing "]" of traceEvents.
+  const std::string tail = "],\"displayTimeUnit\":\"ms\"}";
+  out.resize(out.size() - tail.size());
+  if (num_events() > 0) out += ',';
+  out += extra_events;
+  out += tail;
+  return out;
+}
+
 void Tracer::clear() {
   events_.clear();
   stack_.clear();

@@ -61,6 +61,12 @@ class Tracer {
   /// chrome://tracing and Perfetto.
   [[nodiscard]] std::string chrome_json() const;
 
+  /// Same, with `extra_events` — comma-joined event objects produced
+  /// elsewhere (e.g. obs::FlightRecorder::chrome_events() per-probe tracks)
+  /// — appended inside the traceEvents array.
+  [[nodiscard]] std::string chrome_json(const std::string& extra_events)
+      const;
+
   void clear();
   [[nodiscard]] std::size_t num_events() const { return events_.size(); }
   [[nodiscard]] std::uint64_t dropped_events() const { return dropped_; }

@@ -51,6 +51,8 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
   std::shared_ptr<const Degradation> deg;
   HandlerFn handler;
   ExpireFn on_expire;
+  AttemptFn on_attempt;
+  AckedFn on_acked;
   Counters counters;
   std::uint64_t next_seq = 1;
   // Ordered by seq so backpressure can evict the oldest unacked message.
@@ -92,7 +94,7 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
     which.inc();
     unacked.erase(m->seq);
     update_depth();
-    if (on_expire) on_expire(m->seq);
+    if (on_expire) on_expire(m->seq, m->payload);
   }
 
   void attempt(const std::shared_ptr<Msg>& m) {
@@ -101,6 +103,7 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
       ++counters.retries;
       m_retry.inc();
     }
+    if (on_attempt) on_attempt(m->seq, m->attempts);
     std::weak_ptr<Impl> weak = weak_from_this();
     if (rng.chance(effective_loss())) {
       ++counters.lost;
@@ -160,6 +163,7 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
       m->acked = true;
       self->unacked.erase(m->seq);
       self->update_depth();
+      if (self->on_acked) self->on_acked(m->seq);
     });
   }
 };
@@ -195,6 +199,12 @@ void Channel::set_handler(HandlerFn handler) {
 
 void Channel::set_on_expire(ExpireFn fn) { impl_->on_expire = std::move(fn); }
 
+void Channel::set_on_attempt(AttemptFn fn) {
+  impl_->on_attempt = std::move(fn);
+}
+
+void Channel::set_on_acked(AckedFn fn) { impl_->on_acked = std::move(fn); }
+
 void Channel::cancel_unacked() {
   Impl& im = *impl_;
   // Move the map out first: on_expire callbacks may re-enter the channel.
@@ -205,7 +215,7 @@ void Channel::cancel_unacked() {
     m->cancelled = true;
     ++im.counters.dropped;
     im.m_dropped.inc();
-    if (im.on_expire) im.on_expire(seq);
+    if (im.on_expire) im.on_expire(seq, m->payload);
   }
 }
 
@@ -259,8 +269,9 @@ RpcChannel::RpcChannel(sim::EventScheduler& sched, std::string name, Rng rng,
     if (fn) fn(env->payload);
   });
   // A request that will never be delivered can never complete.
-  req_->set_on_expire(
-      [pending = pending_](std::uint64_t seq) { pending->erase(seq); });
+  req_->set_on_expire([pending = pending_](std::uint64_t seq, std::any&) {
+    pending->erase(seq);
+  });
 }
 
 RpcChannel::~RpcChannel() = default;

@@ -81,7 +81,19 @@ class Channel {
   /// message bodies out; on duplicate deliveries the payload may therefore
   /// be moved-from — dedup on header fields before touching the body.
   using HandlerFn = std::function<void(std::uint64_t seq, std::any& payload)>;
-  using ExpireFn = std::function<void(std::uint64_t seq)>;
+  /// Expiry/abandon callback. `payload` is handed back mutable so the
+  /// application can move the message body out and re-queue it at its own
+  /// layer (ROADMAP "application-level retry for expired uploads"). If the
+  /// message was already delivered when abandoned (backpressure eviction
+  /// racing a lost ack), the payload may be moved-from — check before
+  /// re-sending. May be invoked from inside send() (drop-oldest
+  /// backpressure): do not re-enter the channel synchronously.
+  using ExpireFn = std::function<void(std::uint64_t seq, std::any& payload)>;
+  /// Observer of transmission attempts (attempt is 1-based).
+  using AttemptFn =
+      std::function<void(std::uint64_t seq, std::uint32_t attempt)>;
+  /// Observer invoked when the sender learns a message was acked.
+  using AckedFn = std::function<void(std::uint64_t seq)>;
 
   Channel(sim::EventScheduler& sched, std::string name, Rng rng,
           ChannelConfig cfg, std::shared_ptr<const Degradation> degradation);
@@ -99,8 +111,14 @@ class Channel {
   /// delivered but are discarded). The consumer calls this once at setup.
   void set_handler(HandlerFn handler);
 
-  /// Invoked when a message exhausts max_attempts without an ack.
+  /// Invoked when a message exhausts max_attempts without an ack (or is
+  /// abandoned by backpressure / cancel_unacked), with the payload returned.
   void set_on_expire(ExpireFn fn);
+
+  /// Observability hooks (flight recorder / per-message tracing). Both are
+  /// one branch per event when unset.
+  void set_on_attempt(AttemptFn fn);
+  void set_on_acked(AckedFn fn);
 
   /// Abandon every unacked message (process shutdown / host death); each is
   /// counted as result="dropped" and its retries stop.

@@ -16,6 +16,7 @@
 
 #include "common/five_tuple.h"
 #include "common/types.h"
+#include "obs/flight_recorder.h"
 #include "rnic/rnic.h"
 
 namespace rpm::verbs {
@@ -90,10 +91,17 @@ class VerbsContext {
   void destroy_qp(Qpn qpn);
 
   /// ibv_post_send on a UD QP with an address handle for (gid, qpn).
+  /// `trace_id` (0 = untracked) marks the send for the probe flight
+  /// recorder: the post itself is recorded here and the id rides the
+  /// Datagram for per-hop attribution in the fabric.
   void post_send_ud(Qpn qpn, Gid dst_gid, Qpn dst_qpn, std::uint16_t src_port,
-                    Bytes size, std::any payload, std::uint64_t wr_id) {
+                    Bytes size, std::any payload, std::uint64_t wr_id,
+                    std::uint64_t trace_id = 0) {
+    if (trace_id != 0) {
+      obs::recorder().record(trace_id, obs::ProbeEventKind::kVerbsPost);
+    }
     device_.post_send_ud(qpn, dst_gid, dst_qpn, src_port, size,
-                         std::move(payload), wr_id);
+                         std::move(payload), wr_id, trace_id);
   }
 
   /// ibv_post_send on a connected (RC/UC) QP.

@@ -573,6 +573,68 @@ TEST_F(AnalyzerTest, DuplicateBatchStillProvesHostLiveness) {
   }
 }
 
+TEST_F(AnalyzerTest, RetriedBatchLeavesVoteTallyUnchanged) {
+  // An at-least-once transport — and the Agent's own requeue of expired
+  // batches, which reuses the original sequence number — can deliver the
+  // same (host, seq) batch several times. Algorithm 1's vote tally and the
+  // evidence chain behind the switch verdict must count each probe once.
+  std::vector<ProbeRecord> healthy;
+  for (int i = 0; i < 50; ++i) {
+    healthy.push_back(make_record(RnicId{4}, RnicId{8}, ProbeStatus::kOk,
+                                  ProbeKind::kInterTor));
+  }
+  UploadBatch b;
+  b.host = HostId{0};
+  b.seq = 42;
+  const ProbeRecord proto = make_record(RnicId{0}, RnicId{12},
+                                        ProbeStatus::kTimeout,
+                                        ProbeKind::kInterTor);
+  for (int i = 0; i < 10; ++i) {
+    ProbeRecord r = proto;
+    r.id = next_id_++;
+    b.records.push_back(r);
+  }
+
+  struct Outcome {
+    std::size_t records = 0;
+    std::size_t top_votes = 0;
+    std::string chain_json;
+  };
+  const auto run = [&](int deliveries) {
+    Analyzer a(topo_, ctrl_, sched_);
+    for (const topo::HostInfo& h : topo_.hosts()) a.upload(h.id, {});
+    a.upload(HostId{0}, healthy);
+    for (int i = 0; i < deliveries; ++i) a.ingest_batch(UploadBatch(b));
+    const PeriodReport& rep = a.analyze_now();
+    const Problem* sw = nullptr;
+    for (const Problem& p : rep.problems) {
+      if (p.category == ProblemCategory::kSwitchNetworkProblem) sw = &p;
+    }
+    Outcome out;
+    out.records = rep.records_processed;
+    if (sw != nullptr) {
+      out.top_votes = sw->top_link_votes.empty()
+                          ? 0
+                          : sw->top_link_votes.front().second;
+      if (const obs::EvidenceChain* c = a.evidence(sw->evidence)) {
+        out.chain_json = obs::to_json(*c);
+      }
+    }
+    return out;
+  };
+
+  const Outcome once = run(1);
+  const Outcome thrice = run(3);
+  EXPECT_EQ(once.records, 60u);
+  EXPECT_EQ(thrice.records, once.records);
+  // Exactly the 10 distinct timeout probes vote — never 30.
+  EXPECT_EQ(once.top_votes, 10u);
+  EXPECT_EQ(thrice.top_votes, once.top_votes);
+  // Byte-identical receipts: probe ids, tallies, thresholds all unchanged.
+  ASSERT_FALSE(once.chain_json.empty());
+  EXPECT_EQ(thrice.chain_json, once.chain_json);
+}
+
 TEST_F(AnalyzerTest, ConfigValidation) {
   AnalyzerConfig bad;
   bad.period = 0;

@@ -8,6 +8,7 @@
 
 #include "core/rpingmesh.h"
 #include "faults/faults.h"
+#include "obs/diagnosis.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
 #include "traffic/dml.h"
@@ -166,6 +167,27 @@ TEST(RPingmeshE2E, SwitchPortFlappingLocalizedByVoting) {
   EXPECT_TRUE(hit) << "voting missed the flapping link";
   // And no RNIC was wrongly blamed.
   EXPECT_FALSE(has_problem(*rep, ProblemCategory::kRnicProblem));
+
+  // Every verdict this period carries a resolvable evidence chain, and
+  // explain() renders non-empty receipts (probe ids, thresholds) for it.
+  for (const Problem& pr : rep->problems) {
+    ASSERT_NE(pr.problem_id, 0u) << pr.summary;
+    ASSERT_TRUE(pr.evidence.valid()) << pr.summary;
+    ASSERT_NE(d.rpm.analyzer().evidence(pr.evidence), nullptr) << pr.summary;
+    const std::string j = d.rpm.analyzer().explain(pr.problem_id);
+    ASSERT_FALSE(j.empty()) << pr.summary;
+    EXPECT_NE(j.find("\"probe_ids\":["), std::string::npos) << pr.summary;
+    EXPECT_NE(j.find("\"thresholds\":[{"), std::string::npos) << pr.summary;
+  }
+  // The switch verdict's chain holds the Algorithm 1 tally behind the
+  // suspect list plus the probes that voted.
+  const obs::EvidenceChain* chain = d.rpm.analyzer().evidence(p->evidence);
+  ASSERT_NE(chain, nullptr);
+  EXPECT_EQ(chain->verdict, "switch-network-problem");
+  EXPECT_FALSE(chain->probe_ids.empty());
+  EXPECT_GT(chain->total_probes, 0u);
+  EXPECT_FALSE(chain->link_votes.empty());
+  EXPECT_FALSE(chain->thresholds.empty());
 }
 
 TEST(RPingmeshE2E, AgentCpuOccupationFilteredAsNoise) {

@@ -196,6 +196,58 @@ TEST(Export, HistogramRendersAsSummary) {
             std::string::npos);
 }
 
+TEST(Export, PrometheusEscapesHostileLabelValues) {
+  // A label value is free text (file paths, service names, summaries): the
+  // exposition format requires \, ", and newline escaped, or one hostile
+  // value corrupts the whole scrape.
+  MetricsRegistry reg;
+  reg.counter("t_hostile_total", "Help with \\ backslash\nand newline",
+              {{"path", "C:\\temp\n\"quoted\""}})
+      .inc();
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(
+      text.find("t_hostile_total{path=\"C:\\\\temp\\n\\\"quoted\\\"\"} 1\n"),
+      std::string::npos)
+      << text;
+  // HELP text escapes backslash and newline (quotes stay literal there).
+  EXPECT_NE(
+      text.find("# HELP t_hostile_total Help with \\\\ backslash\\nand "
+                "newline\n"),
+      std::string::npos)
+      << text;
+  // No raw newline survives inside any line: every '\n' starts a full
+  // "name...", "# ..." or empty-tail line.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    EXPECT_TRUE(line[0] == '#' || line.rfind("t_hostile_total", 0) == 0)
+        << "corrupted line: " << line;
+  }
+}
+
+TEST(Export, HelpAndTypeEmittedOncePerFamily) {
+  MetricsRegistry reg;
+  reg.counter("t_family_total", "fam", {{"id", "0"}}).inc();
+  reg.counter("t_family_total", "fam", {{"id", "1"}}).inc(2);
+  reg.counter("t_family_total", "fam", {{"id", "2"}}).inc(3);
+  const std::string text = to_prometheus(reg.snapshot());
+  const auto count = [&text](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("# HELP t_family_total"), 1u);
+  EXPECT_EQ(count("# TYPE t_family_total"), 1u);
+  EXPECT_EQ(count("t_family_total{id="), 3u);
+}
+
 TEST(Export, DeterministicAcrossIdenticalRegistries) {
   MetricsRegistry a;
   MetricsRegistry b;

@@ -86,7 +86,7 @@ TEST_F(TransportTest, TotalLossExpiresAfterBackoffSchedule) {
   std::vector<std::uint64_t> expired;
   Channel& ch = cp_.make_channel(
       "t.blackhole", [&](std::uint64_t, std::any&) { ++deliveries; }, cfg);
-  ch.set_on_expire([&](std::uint64_t seq) {
+  ch.set_on_expire([&](std::uint64_t seq, std::any&) {
     expired.push_back(seq);
     EXPECT_EQ(sched_.now(), msec(70));  // 10 + 20 + 40 (backoff x2 each)
   });
@@ -117,7 +117,8 @@ TEST_F(TransportTest, BackoffIsCappedAtMaxRetryTimeout) {
   TimeNs expired_at = -1;
   Channel& ch =
       cp_.make_channel("t.cap", [](std::uint64_t, std::any&) {}, cfg);
-  ch.set_on_expire([&](std::uint64_t) { expired_at = sched_.now(); });
+  ch.set_on_expire(
+      [&](std::uint64_t, std::any&) { expired_at = sched_.now(); });
 
   ch.send(std::any(0));
   sched_.run_until(sec(5));
@@ -137,7 +138,8 @@ TEST_F(TransportTest, FullWindowDropsOldestMessage) {
         bodies.push_back(std::any_cast<int>(p));
       },
       cfg);
-  ch.set_on_expire([&](std::uint64_t seq) { expired.push_back(seq); });
+  ch.set_on_expire(
+      [&](std::uint64_t seq, std::any&) { expired.push_back(seq); });
 
   ch.send(std::any(1));
   ch.send(std::any(2));
