@@ -173,6 +173,29 @@ void BM_TransportSendDeliver(benchmark::State& state) {
 }
 BENCHMARK(BM_TransportSendDeliver);
 
+// Cost of a full peer outage cycle on a channel with traffic in flight:
+// messages sent against a down peer burn their (jittered) retry schedule
+// and expire, then the peer recovers and a fresh send delivers — the path
+// every Agent upload channel takes through an Analyzer brownout.
+void BM_TransportPeerOutage(benchmark::State& state) {
+  sim::EventScheduler sched;
+  transport::ControlPlane cp(sched, Rng(9));
+  std::uint64_t delivered = 0;
+  transport::Channel& ch = cp.make_channel(
+      "bench.outage", [&](std::uint64_t, std::any&) { ++delivered; });
+  for (auto _ : state) {
+    ch.set_peer_down(true);
+    for (int i = 0; i < 8; ++i) ch.send(std::any(std::uint64_t{1}));
+    sched.run_all();  // all eight expire through the backoff schedule
+    ch.set_peer_down(false);
+    ch.send(std::any(std::uint64_t{2}));
+    sched.run_all();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations() * 9);
+}
+BENCHMARK(BM_TransportPeerOutage);
+
 // Sharded vs single-bucket Analyzer ingestion: range(0) buckets receiving
 // range(1) records (spread over per-host batches), merged at period close.
 void BM_AnalyzerShardedIngest(benchmark::State& state) {

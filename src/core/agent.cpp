@@ -53,6 +53,24 @@ Agent::Agent(host::Cluster& cluster, HostId host, const Controller& directory,
       "rpm_agent_upload_requeues_total",
       "Expired upload batches re-queued at the application layer",
       {{"host", host_label}});
+  metrics_.lease_expired = reg.counter(
+      "rpm_agent_lease_expired_total",
+      "Controller leases lost to missed heartbeat renewals",
+      {{"host", host_label}});
+  metrics_.reregistrations = reg.counter(
+      "rpm_agent_reregistrations_total",
+      "Registrations accepted after a lost lease", {{"host", host_label}});
+  metrics_.spill_ring_depth = reg.gauge(
+      "rpm_agent_spill_ring_depth",
+      "Upload batches parked in the Analyzer-outage spill ring",
+      {{"host", host_label}});
+  metrics_.spill_dropped = reg.counter(
+      "rpm_agent_spill_dropped_total",
+      "Spilled batches evicted by the drop-oldest cap", {{"host", host_label}});
+  metrics_.backoff_delay_ns = reg.histogram(
+      "rpm_agent_reconnect_backoff_delay_ns",
+      "Jittered backoff delays before re-registration / catch-up retries",
+      {{"host", host_label}});
   // Transport observers. Attempt/ack fan out to the flight recorder (no-ops
   // while it is disabled); expiry feeds the application-level retry.
   upload_ch_.set_on_attempt([this](std::uint64_t seq, std::uint32_t attempt) {
@@ -62,6 +80,10 @@ Agent::Agent(host::Cluster& cluster, HostId host, const Controller& directory,
   });
   upload_ch_.set_on_acked([this](std::uint64_t seq) {
     obs::recorder().unbind_batch(host_.value, seq);
+    // An acked upload means the Analyzer is reachable: reset the catch-up
+    // backoff and drain any history parked during the outage.
+    catchup_attempt_ = 0;
+    if (running_ && !spill_.empty()) drain_spill();
   });
   upload_ch_.set_on_expire([this](std::uint64_t seq, std::any& payload) {
     on_upload_expired(seq, payload);
@@ -95,6 +117,17 @@ void Agent::create_qps() {
   }
 }
 
+TimeNs Agent::backoff_delay(std::uint32_t attempt) {
+  TimeNs d = cfg_.backoff_base;
+  for (std::uint32_t i = 0; i < attempt && d < cfg_.backoff_max; ++i) d *= 2;
+  d = std::min(d, cfg_.backoff_max);
+  // Per-agent jitter from the Agent's own seeded Rng: deterministic for a
+  // given seed, different across Agents — no thundering herd on a restarted
+  // Controller, no wall-clock nondeterminism.
+  if (cfg_.backoff_jitter > 0) d += rng_.uniform_int(0, cfg_.backoff_jitter);
+  return d;
+}
+
 void Agent::register_with_controller() {
   AgentRegistration reg;
   reg.host = host_;
@@ -107,12 +140,90 @@ void Agent::register_with_controller() {
     reg.rnics.push_back(info);
   }
   const std::uint64_t epoch = epoch_;
-  ctrl_rpc_.call(std::any(std::move(reg)), [this, epoch](std::any&) {
+  ctrl_rpc_.call(std::any(std::move(reg)), [this, epoch](std::any& rsp) {
     if (!running_ || epoch != epoch_) return;
+    const auto* ack = std::any_cast<RegistrationAck>(&rsp);
+    // A crashed Controller answers accepted=false (if it answers at all);
+    // the backoff probe below keeps retrying until one sticks.
+    if (ack == nullptr || !ack->accepted) return;
+    registered_ = true;
+    reg_attempt_ = 0;
+    lease_duration_ = ack->lease_duration;
+    lease_expiry_ = cluster_.scheduler().now() + lease_duration_;
+    if (rereg_pending_) {
+      rereg_pending_ = false;
+      ++reregistrations_;
+      metrics_.reregistrations.inc();
+      telemetry::tracer().instant("agent-reregistered", "control");
+      if (obs::recorder().enabled()) {
+        for (const ProbeRecord& r : outbox_) {
+          if (r.flight_sampled) {
+            obs::recorder().record(r.id, obs::ProbeEventKind::kReregistered);
+          }
+        }
+      }
+    }
     // Registration is on file — pull pinglists right away rather than
     // probing nothing until the 5-minute refresh timer.
     refresh_pinglists();
   });
+  // Backoff probe: if that registration goes unanswered (Controller down,
+  // or the request/response expired on the wire), try again — capped
+  // exponential backoff with per-agent jitter.
+  const TimeNs delay = backoff_delay(reg_attempt_);
+  cluster_.scheduler().schedule_after(delay, [this, epoch, delay] {
+    if (!running_ || epoch != epoch_ || registered_) return;
+    metrics_.backoff_delay_ns.observe(static_cast<double>(delay));
+    ++reg_attempt_;
+    register_with_controller();
+  });
+}
+
+void Agent::heartbeat_tick() {
+  if (!running_ || host_down()) return;
+  const TimeNs now = cluster_.scheduler().now();
+  if (registered_ && lease_expiry_ != kNoTime && now >= lease_expiry_) {
+    // Renewals stopped landing (Controller crash, or the network ate every
+    // heartbeat for a full lease): the lease is gone — start over.
+    registered_ = false;
+    ++lease_expiries_;
+    metrics_.lease_expired.inc();
+    telemetry::tracer().instant("agent-lease-expired", "control");
+    if (obs::recorder().enabled()) {
+      for (const ProbeRecord& r : outbox_) {
+        if (r.flight_sampled) {
+          obs::recorder().record(r.id, obs::ProbeEventKind::kLeaseExpired);
+        }
+      }
+    }
+    begin_reregistration();
+    return;
+  }
+  if (!registered_) return;  // re-registration loop already in progress
+  AgentHeartbeat hb;
+  hb.host = host_;
+  const std::uint64_t epoch = epoch_;
+  ctrl_rpc_.call(std::any(hb), [this, epoch](std::any& rsp) {
+    // The `registered_` guard drops heartbeat acks that raced a lease
+    // expiry — a stale renewal must not resurrect a lease mid-backoff.
+    if (!running_ || epoch != epoch_ || !registered_) return;
+    const auto* ack = std::any_cast<HeartbeatAck>(&rsp);
+    if (ack == nullptr) return;
+    if (ack->known) {
+      lease_expiry_ = cluster_.scheduler().now() + lease_duration_;
+    } else {
+      // The Controller restarted and lost its registry: our lease is void
+      // even though the process answers. Re-register right away.
+      registered_ = false;
+      begin_reregistration();
+    }
+  });
+}
+
+void Agent::begin_reregistration() {
+  rereg_pending_ = true;
+  reg_attempt_ = 0;
+  register_with_controller();
 }
 
 void Agent::attach_tracepoints() {
@@ -162,6 +273,11 @@ void Agent::start() {
   refresh_task_ = std::make_unique<sim::PeriodicTask>(
       sched, cfg_.pinglist_refresh, [this] { refresh_pinglists(); });
   refresh_task_->start(cfg_.pinglist_refresh);
+  heartbeat_task_ = std::make_unique<sim::PeriodicTask>(
+      sched, cfg_.heartbeat_interval, [this] { heartbeat_tick(); });
+  // Phase-jittered like the probing tasks, so heartbeats (and therefore
+  // lease-expiry detections) never fire in cluster-wide lockstep.
+  heartbeat_task_->start(rng_.uniform_int(0, cfg_.heartbeat_interval));
 }
 
 void Agent::stop() {
@@ -190,9 +306,33 @@ void Agent::stop() {
   }
   if (upload_task_) upload_task_->cancel();
   if (refresh_task_) refresh_task_->cancel();
+  if (heartbeat_task_) heartbeat_task_->cancel();
   pending_.clear();
   responder_ctx_.clear();
   periods_since_flush_ = 0;
+  // The lease dies with the process; a restart re-registers from scratch.
+  registered_ = false;
+  rereg_pending_ = false;
+  lease_expiry_ = kNoTime;
+  reg_attempt_ = 0;
+  catchup_attempt_ = 0;
+  catchup_scheduled_ = false;
+  if (!spill_.empty()) {
+    // The spill ring is process memory: it cannot survive a stop. Account
+    // its batches as drops like the outbox above.
+    if (obs::recorder().enabled()) {
+      for (const UploadBatch& b : spill_) {
+        for (const ProbeRecord& r : b.records) {
+          if (r.flight_sampled) {
+            obs::recorder().record(r.id, obs::ProbeEventKind::kUploadDropped);
+          }
+        }
+      }
+    }
+    upload_ch_.note_app_drop(spill_.size());
+    spill_.clear();
+    metrics_.spill_ring_depth.set(0.0);
+  }
 }
 
 void Agent::restart() {
@@ -646,8 +786,15 @@ void Agent::on_upload_expired(std::uint64_t chan_seq, std::any& payload) {
     }
     // The transport already counted the expiry/drop; no double count here.
   };
-  if (!running_ || host_down() || batch->requeues >= cfg_.upload_requeue_cap) {
+  if (!running_ || host_down()) {
     drop_for_good();
+    return;
+  }
+  if (batch->requeues >= cfg_.upload_requeue_cap) {
+    // All transport + application retries exhausted: the Analyzer looks to
+    // be in an outage. Park the batch in the spill ring instead of losing
+    // the history; it drains in seq order on reconnect.
+    spill_batch(std::move(*batch));
     return;
   }
   // Application-level retry (ROADMAP): give the batch fresh transport
@@ -667,6 +814,94 @@ void Agent::on_upload_expired(std::uint64_t chan_seq, std::any& payload) {
         }
         send_batch(std::move(b));
       });
+}
+
+void Agent::spill_batch(UploadBatch&& batch) {
+  // Insert in ascending seq — re-expiries of catch-up probes can interleave
+  // with fresh spills — and ignore a seq that is already parked.
+  const auto it = std::lower_bound(
+      spill_.begin(), spill_.end(), batch.seq,
+      [](const UploadBatch& b, std::uint64_t seq) { return b.seq < seq; });
+  if (it != spill_.end() && it->seq == batch.seq) return;
+  if (obs::recorder().enabled()) {
+    for (const ProbeRecord& r : batch.records) {
+      if (r.flight_sampled) {
+        obs::recorder().record(r.id, obs::ProbeEventKind::kSpilled, batch.seq);
+      }
+    }
+  }
+  spill_.insert(it, std::move(batch));
+  while (spill_.size() > cfg_.spill_ring_cap) {
+    // Drop-oldest: under a long outage the freshest history wins, same
+    // latest-wins policy as the transport's backpressure.
+    const UploadBatch& victim = spill_.front();
+    if (obs::recorder().enabled()) {
+      for (const ProbeRecord& r : victim.records) {
+        if (r.flight_sampled) {
+          obs::recorder().record(r.id, obs::ProbeEventKind::kUploadDropped);
+        }
+      }
+    }
+    upload_ch_.note_app_drop(1);
+    metrics_.spill_dropped.inc();
+    spill_.pop_front();
+  }
+  metrics_.spill_ring_depth.set(static_cast<double>(spill_.size()));
+  schedule_catchup();
+}
+
+void Agent::schedule_catchup() {
+  if (catchup_scheduled_ || spill_.empty() || !running_) return;
+  catchup_scheduled_ = true;
+  const TimeNs delay = backoff_delay(catchup_attempt_);
+  metrics_.backoff_delay_ns.observe(static_cast<double>(delay));
+  const std::uint64_t epoch = epoch_;
+  cluster_.scheduler().schedule_after(delay, [this, epoch] {
+    if (epoch != epoch_) return;
+    catchup_scheduled_ = false;
+    if (!running_ || host_down() || spill_.empty()) return;
+    ++catchup_attempt_;
+    // Probe the outage with the OLDEST spilled batch; if it expires again
+    // it lands back at the front of the ring and the next probe backs off
+    // further. If it is acked, on_acked drains the rest.
+    UploadBatch probe = std::move(spill_.front());
+    spill_.pop_front();
+    metrics_.spill_ring_depth.set(static_cast<double>(spill_.size()));
+    // Keep the requeue header at the cap so another expiry routes straight
+    // back into the spill ring instead of burning requeue rounds.
+    probe.requeues = cfg_.upload_requeue_cap;
+    send_batch(std::move(probe));
+    schedule_catchup();
+  });
+}
+
+void Agent::drain_spill() {
+  // Deferred: on_acked fires from inside channel code; re-entering send()
+  // synchronously from there would recurse into the channel.
+  const std::uint64_t epoch = epoch_;
+  cluster_.scheduler().schedule_after(0, [this, epoch] {
+    if (!running_ || epoch != epoch_ || spill_.empty()) return;
+    // Snapshot the ring: anything re-spilled while draining (drop-oldest
+    // backpressure) waits for the next ack or catch-up probe instead of
+    // cycling through this loop at one instant.
+    std::deque<UploadBatch> ready;
+    ready.swap(spill_);
+    metrics_.spill_ring_depth.set(0.0);
+    for (UploadBatch& b : ready) {
+      b.requeues = cfg_.upload_requeue_cap;
+      if (obs::recorder().enabled()) {
+        for (const ProbeRecord& r : b.records) {
+          if (r.flight_sampled) {
+            obs::recorder().record(r.id, obs::ProbeEventKind::kSpillDrained,
+                                   b.seq);
+          }
+        }
+      }
+      // Ascending-seq order: the Analyzer's (host, seq) dedup and period
+      // bucketing absorb this late history without double-counting votes.
+      send_batch(std::move(b));
+    }
+  });
 }
 
 void Agent::on_service_connect(const verbs::ModifyQpEvent& e) {

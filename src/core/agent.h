@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -70,6 +71,20 @@ struct AgentConfig {
   // before letting the records go. Keeps its ORIGINAL batch seq so Analyzer
   // (host,seq) dedup absorbs any copy that did sneak through.
   std::uint32_t upload_requeue_cap = 2;
+  // Control-plane survivability. The lease the Controller granted at
+  // registration is renewed by heartbeats at this cadence; if renewal fails
+  // past the lease, the Agent re-registers with capped exponential backoff
+  // (base * 2^attempt up to max, plus uniform [0, jitter] from the Agent's
+  // own seeded Rng so a restarted Controller is not hit by every Agent at
+  // the same instant).
+  TimeNs heartbeat_interval = sec(5);
+  TimeNs backoff_base = msec(500);
+  TimeNs backoff_max = sec(8);
+  TimeNs backoff_jitter = msec(250);
+  // Analyzer-outage catch-up: batches that exhausted upload_requeue_cap are
+  // parked in a bounded drop-oldest spill ring (ordered by seq) instead of
+  // being dropped, and drain in order once an upload is ACKed again.
+  std::size_t spill_ring_cap = 64;
 };
 
 class Agent {
@@ -107,6 +122,20 @@ class Agent {
 
   /// Number of service-tracing entries currently tracked (all RNICs).
   [[nodiscard]] std::size_t service_entries() const;
+
+  /// Does this Agent believe its Controller lease is live? False between a
+  /// lease expiry (Controller crash) and the accepted re-registration.
+  [[nodiscard]] bool registered() const { return registered_; }
+  /// Batches currently parked in the Analyzer-outage spill ring.
+  [[nodiscard]] std::size_t spill_depth() const { return spill_.size(); }
+  /// Accepted re-registrations after a lease loss (lifetime count).
+  [[nodiscard]] std::uint64_t reregistrations() const {
+    return reregistrations_;
+  }
+  /// Lease expiries observed (lifetime count).
+  [[nodiscard]] std::uint64_t lease_expiries() const {
+    return lease_expiries_;
+  }
 
   /// Probes sent / responses issued, for overhead accounting (Figure 7).
   [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
@@ -167,14 +196,31 @@ class Agent {
 
   void create_qps();
   void register_with_controller();
+  /// Capped exponential backoff with per-agent jitter: base * 2^attempt up
+  /// to max, plus uniform [0, jitter] from rng_.
+  [[nodiscard]] TimeNs backoff_delay(std::uint32_t attempt);
+  /// Periodic lease check: renews via AgentHeartbeat, detects expiry, and
+  /// kicks the re-registration loop when the Controller forgot us.
+  void heartbeat_tick();
+  void begin_reregistration();
   void apply_pinglist_response(PinglistPullResponse rsp);
   void flush_outbox();
   /// Ship one batch on the upload channel and bind its sampled probe ids to
   /// the carrying channel message. Used by flush_outbox and requeues.
   void send_batch(UploadBatch&& batch);
   /// Channel on_expire: transport exhausted max_attempts (or abandoned the
-  /// message). Re-queues the batch up to upload_requeue_cap times.
+  /// message). Re-queues the batch up to upload_requeue_cap times, then
+  /// parks it in the spill ring (Analyzer outage catch-up).
   void on_upload_expired(std::uint64_t chan_seq, std::any& payload);
+  /// Park a fully-retried batch in the seq-ordered spill ring, evicting the
+  /// oldest batches beyond spill_ring_cap.
+  void spill_batch(UploadBatch&& batch);
+  /// Schedule a single backoff-delayed probe send of the oldest spilled
+  /// batch, to discover when the Analyzer is reachable again.
+  void schedule_catchup();
+  /// An upload was ACKed: the Analyzer is back — drain the spill ring in
+  /// seq order.
+  void drain_spill();
   void attach_tracepoints();
   void detach_tracepoints();
   void probe_next(std::uint32_t slot, ProbeKind kind);
@@ -204,6 +250,18 @@ class Agent {
   std::uint64_t epoch_ = 0;
   std::uint64_t next_batch_seq_ = 1;  // monotone across restarts
   std::uint32_t periods_since_flush_ = 0;
+  // Lease-based liveness (control-plane survivability).
+  bool registered_ = false;
+  TimeNs lease_expiry_ = kNoTime;   // simulated deadline of the held lease
+  TimeNs lease_duration_ = 0;       // as granted in the RegistrationAck
+  std::uint32_t reg_attempt_ = 0;   // consecutive unanswered registrations
+  bool rereg_pending_ = false;      // current registration follows a lost lease
+  std::uint64_t lease_expiries_ = 0;
+  std::uint64_t reregistrations_ = 0;
+  // Analyzer-outage spill ring: fully-retried batches, ascending seq.
+  std::deque<UploadBatch> spill_;
+  std::uint32_t catchup_attempt_ = 0;
+  bool catchup_scheduled_ = false;
   std::vector<RnicState> rnics_;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::vector<ProbeRecord> outbox_;
@@ -226,6 +284,7 @@ class Agent {
   std::unordered_map<std::uint64_t, ResponderCtx> responder_ctx_;
   std::unique_ptr<sim::PeriodicTask> upload_task_;
   std::unique_ptr<sim::PeriodicTask> refresh_task_;
+  std::unique_ptr<sim::PeriodicTask> heartbeat_task_;
 
   // Self-observability handles, labeled {host, kind} and created once at
   // construction — hot paths only touch cached handles.
@@ -238,6 +297,12 @@ class Agent {
     telemetry::Counter uploads;
     telemetry::Counter upload_records;
     telemetry::Counter upload_requeues;
+    // Control-plane survivability.
+    telemetry::Counter lease_expired;       // leases lost to missed renewals
+    telemetry::Counter reregistrations;     // accepted re-registrations
+    telemetry::Gauge spill_ring_depth;      // batches parked during outage
+    telemetry::Counter spill_dropped;       // batches evicted (drop-oldest)
+    telemetry::Histogram backoff_delay_ns;  // reconnect backoff delays
   };
   Metrics metrics_;
 };

@@ -77,6 +77,10 @@ Analyzer::Analyzer(const topo::Topology& topo, const Controller& controller,
 }
 
 void Analyzer::ingest_batch(UploadBatch batch) {
+  // Belt-and-braces: during an outage the upload channels are peer-down and
+  // nothing should arrive, but a delivery that races the cutover must not
+  // land in a shard no period will ever drain correctly.
+  if (outage_) return;
   // Any delivery — duplicate included — proves the Agent process is alive:
   // host-down detection keys on received uploads, and a retried batch is
   // still an upload the host managed to get onto the wire.
@@ -163,13 +167,33 @@ void Analyzer::register_service(ServiceBinding binding) {
 void Analyzer::start() {
   if (period_task_) return;
   period_task_ = std::make_unique<sim::PeriodicTask>(
-      sched_, cfg_.period, [this] { analyze_now(); });
+      sched_, cfg_.period, [this] {
+        if (!outage_) analyze_now();
+      });
   period_task_->start(cfg_.period);
 }
 
 void Analyzer::stop() {
   if (period_task_) period_task_->cancel();
   period_task_.reset();
+}
+
+void Analyzer::set_outage(bool outage) {
+  if (outage_ == outage) return;
+  outage_ = outage;
+  if (outage) {
+    telemetry::tracer().instant("analyzer-outage-begin", "control");
+    return;
+  }
+  telemetry::tracer().instant("analyzer-outage-end", "control");
+  // Forgive the blackout: every known host's silence clock restarts now.
+  // Otherwise the first period back would flag the whole cluster host-down
+  // for silence the Analyzer itself caused by being unreachable.
+  const TimeNs now = sched_.now();
+  for (auto& [host, last] : last_upload_) last = std::max(last, now);
+  // The period boundary also restarts here: records drained from Agent
+  // spill rings belong to the post-outage period, not a 0-length one.
+  last_period_end_ = now;
 }
 
 void Analyzer::vote_paths(const std::vector<const ProbeRecord*>& records,
@@ -360,9 +384,12 @@ const PeriodReport& Analyzer::analyze_now() {
       continue;
     }
     // QPN-reset noise: the probe addressed a QPN older than the freshest
-    // registration the Controller holds.
+    // registration the Controller holds — or a QPN the Controller has no
+    // registration for at all (it restarted and lost its registry, and the
+    // target has not re-registered yet). Both are control-plane staleness,
+    // not network loss.
     if (const auto info = controller_.comm_info(r.target);
-        info && info->qpn != r.target_qpn) {
+        !info || info->qpn != r.target_qpn) {
       cause[i] = AnomalyCause::kQpnReset;
     }
   }
@@ -769,7 +796,8 @@ const PeriodReport& Analyzer::analyze_now() {
     c.verdict = "qpn-reset-noise";
     c.triage_branch =
         "timeout-triage: probe addressed a QPN older than the Controller's "
-        "freshest registration";
+        "freshest registration (or one the Controller lost across a "
+        "restart)";
     for (std::uint64_t id : qpn_reset_ids) add_probe(c, id);
     attach_evidence(p, c);
     dlog.chains.push_back(std::move(c));

@@ -99,6 +99,14 @@ class Analyzer {
   void start();
   void stop();
 
+  /// Analyzer process outage (control-plane survivability). While in
+  /// outage, nothing is ingested and no periods run; leaving the outage
+  /// forgives every host's upload silence (bumping its last-upload time to
+  /// now) so the blackout itself never reads as a wave of host-down
+  /// verdicts — hosts kept measuring, the Analyzer just could not hear them.
+  void set_outage(bool outage);
+  [[nodiscard]] bool in_outage() const { return outage_; }
+
   /// Run one analysis over everything buffered since the previous period.
   const PeriodReport& analyze_now();
 
@@ -178,6 +186,7 @@ class Analyzer {
   std::uint64_t next_evidence_id_ = 1;
   std::uint64_t next_problem_id_ = 1;
   TimeNs last_period_end_ = 0;
+  bool outage_ = false;
   std::unique_ptr<sim::PeriodicTask> period_task_;
 
   // Self-observability: the 20 s pipeline is the Analyzer's hot path; each

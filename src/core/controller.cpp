@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/trace.h"
+
 namespace rpm::core {
 
 namespace {
@@ -76,6 +78,8 @@ Controller::Controller(const topo::Topology& topo,
   auto& reg = telemetry::registry();
   metrics_.registrations = reg.counter("rpm_controller_registrations_total",
                                        "Agent (re)registrations processed");
+  metrics_.registered_agents = reg.gauge("rpm_controller_registered_agents",
+                                         "Hosts with a live registration lease");
   const char* kinds[2] = {"tor-mesh", "inter-tor"};
   for (int k = 0; k < 2; ++k) {
     metrics_.pinglist_requests[k] =
@@ -93,8 +97,9 @@ Controller::Controller(const topo::Topology& topo,
   build_intertor_plan();
 }
 
-void Controller::register_agent(HostId host,
+bool Controller::register_agent(HostId host,
                                 const std::vector<RnicCommInfo>& rnics) {
+  if (down_) return false;  // a crashed process accepts nothing
   for (const RnicCommInfo& info : rnics) {
     if (topo_.rnic(info.rnic).host != host) {
       throw std::invalid_argument(
@@ -102,7 +107,35 @@ void Controller::register_agent(HostId host,
     }
     registry_[info.rnic.value] = info;
   }
+  registered_hosts_.insert(host.value);
   metrics_.registrations.inc();
+  metrics_.registered_agents.set(
+      static_cast<double>(registered_hosts_.size()));
+  return true;
+}
+
+HeartbeatAck Controller::heartbeat(HostId host) const {
+  HeartbeatAck ack;
+  ack.controller_epoch = epoch_;
+  ack.known = !down_ && registered_hosts_.contains(host.value);
+  return ack;
+}
+
+void Controller::crash() {
+  down_ = true;
+  // A process crash takes the in-memory registry with it; Agents discover
+  // the loss through missed heartbeats and re-register after restart().
+  registry_.clear();
+  registered_hosts_.clear();
+  metrics_.registered_agents.set(0.0);
+  telemetry::tracer().instant("controller-crash", "control");
+}
+
+void Controller::restart() {
+  if (!down_) return;
+  down_ = false;
+  ++epoch_;
+  telemetry::tracer().instant("controller-restart", "control");
 }
 
 std::optional<RnicCommInfo> Controller::comm_info(RnicId rnic) const {

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -34,6 +35,9 @@ struct ControllerConfig {
   double rotate_fraction = 0.20;          // inter-ToR tuples per rotation
   std::uint16_t intertor_port_base = 30000;
   std::uint64_t seed = 99;
+  // Lease-based liveness: how long a registration stays on file without a
+  // renewing heartbeat from the Agent's side. Granted in RegistrationAck.
+  TimeNs lease_duration = sec(15);
 };
 
 /// Solves Equation (1): smallest k >= N with
@@ -53,8 +57,28 @@ class Controller {
   // ---- registry ----
 
   /// Called by an Agent when it starts or restarts: stores the freshest
-  /// comm info for every RNIC the Agent manages.
-  void register_agent(HostId host, const std::vector<RnicCommInfo>& rnics);
+  /// comm info for every RNIC the Agent manages. Returns false (and stores
+  /// nothing) while the Controller process is down.
+  bool register_agent(HostId host, const std::vector<RnicCommInfo>& rnics);
+
+  /// Lease renewal: does this Controller currently hold a registration for
+  /// `host`? A restarted Controller answers known=false until the Agent
+  /// re-registers.
+  [[nodiscard]] HeartbeatAck heartbeat(HostId host) const;
+
+  // ---- process lifecycle (control-plane survivability) ----
+
+  /// The Controller process crashes: every registration and heartbeat lease
+  /// is lost and nothing is accepted or served until restart().
+  void crash();
+  /// The process comes back — with an empty registry and a new epoch; every
+  /// Agent must re-register.
+  void restart();
+  [[nodiscard]] bool is_down() const { return down_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t num_registered_agents() const {
+    return registered_hosts_.size();
+  }
 
   /// Latest comm info for an RNIC (nullopt if its Agent never registered).
   [[nodiscard]] std::optional<RnicCommInfo> comm_info(RnicId rnic) const;
@@ -95,6 +119,9 @@ class Controller {
   Rng rng_;
 
   std::unordered_map<std::uint32_t, RnicCommInfo> registry_;  // by rnic id
+  std::unordered_set<std::uint32_t> registered_hosts_;        // by host id
+  bool down_ = false;
+  std::uint64_t epoch_ = 1;  // bumped on every restart()
   // Per ToR: the k selected inter-ToR tuples and the per-tuple cadence.
   struct TorPlan {
     std::uint32_t parallel_paths = 1;
@@ -108,6 +135,7 @@ class Controller {
   // Self-observability: pinglist generation volume and cost.
   struct Metrics {
     telemetry::Counter registrations;
+    telemetry::Gauge registered_agents;        // hosts with a live lease
     telemetry::Counter pinglist_requests[2];   // {tor-mesh, inter-tor}
     telemetry::Histogram pinglist_entries[2];  // entries per generated list
     telemetry::Histogram plan_build_ns;        // Equation-1 planning (wall)

@@ -28,8 +28,14 @@ RPingmesh::RPingmesh(host::Cluster& cluster, RPingmeshConfig cfg)
     transport::RpcChannel& rpc = cp.make_rpc_channel(
         "ctrl" + suffix, [this](const std::any& req) -> std::any {
           if (const auto* r = std::any_cast<AgentRegistration>(&req)) {
-            controller_.register_agent(r->host, r->rnics);
-            return std::any(true);
+            RegistrationAck ack;
+            ack.accepted = controller_.register_agent(r->host, r->rnics);
+            ack.controller_epoch = controller_.epoch();
+            ack.lease_duration = controller_.config().lease_duration;
+            return std::any(ack);
+          }
+          if (const auto* r = std::any_cast<AgentHeartbeat>(&req)) {
+            return std::any(controller_.heartbeat(r->host));
           }
           if (const auto* r = std::any_cast<PinglistPullRequest>(&req)) {
             return std::any(serve_pinglist_pull(controller_, *r));
@@ -73,6 +79,37 @@ void RPingmesh::start() {
       cluster_.scheduler(), cfg_.tuple_rotation_interval,
       [this] { controller_.rotate_intertor_tuples(); });
   rotation_task_->start(cfg_.tuple_rotation_interval);
+}
+
+void RPingmesh::crash_controller() {
+  if (controller_.is_down()) return;
+  controller_.crash();
+  // The server process is gone: every Agent's RPC channel loses its peer.
+  // Requests already in flight are eaten by the (dead) endpoint; retries
+  // expire normally, so Agents see the crash as unanswered heartbeats.
+  for (transport::RpcChannel* rpc : rpc_channels_) rpc->set_server_down(true);
+}
+
+void RPingmesh::restart_controller() {
+  if (!controller_.is_down()) return;
+  controller_.restart();
+  // A new connection epoch per channel; Agents reconnect via their lease
+  // expiry -> backoff re-registration loop, nothing is pushed to them.
+  for (transport::RpcChannel* rpc : rpc_channels_) rpc->set_server_down(false);
+}
+
+void RPingmesh::begin_analyzer_outage() {
+  if (analyzer_.in_outage()) return;
+  analyzer_.set_outage(true);
+  for (transport::Channel* ch : upload_channels_) ch->set_peer_down(true);
+}
+
+void RPingmesh::end_analyzer_outage() {
+  if (!analyzer_.in_outage()) return;
+  for (transport::Channel* ch : upload_channels_) ch->set_peer_down(false);
+  // Order matters: set_outage(false) stamps "now" as every host's silence
+  // epoch AFTER the channels can deliver again, so nothing slips between.
+  analyzer_.set_outage(false);
 }
 
 void RPingmesh::stop() {

@@ -40,6 +40,25 @@ class RPingmesh {
   void start();
   void stop();
 
+  // ---- control-plane survivability (src/chaos drives these) ----
+
+  /// Crash the Controller process: its registry is wiped and every Agent's
+  /// RPC channel goes peer-down. Agents rediscover it through lease expiry
+  /// and re-register (capped backoff + per-agent jitter) after
+  /// restart_controller().
+  void crash_controller();
+  void restart_controller();
+  [[nodiscard]] bool controller_down() const { return controller_.is_down(); }
+
+  /// Analyzer brownout: upload channels go peer-down, periods pause, and
+  /// Agents spill fully-retried batches into their catch-up rings. Ending
+  /// the outage drains the rings in seq order and forgives upload silence.
+  void begin_analyzer_outage();
+  void end_analyzer_outage();
+  [[nodiscard]] bool analyzer_in_outage() const {
+    return analyzer_.in_outage();
+  }
+
   [[nodiscard]] Controller& controller() { return controller_; }
   [[nodiscard]] Analyzer& analyzer() { return analyzer_; }
   [[nodiscard]] Agent& agent(HostId host) { return *agents_.at(host.value); }

@@ -178,6 +178,28 @@ struct AgentRegistration {
   std::vector<RnicCommInfo> rnics;
 };
 
+/// Controller -> Agent reply to a registration: whether it was accepted
+/// (a crashed Controller accepts nothing) and the lease the Agent must keep
+/// refreshed by heartbeats.
+struct RegistrationAck {
+  bool accepted = false;
+  std::uint64_t controller_epoch = 0;
+  TimeNs lease_duration = 0;
+};
+
+/// Agent -> Controller heartbeat refreshing the registration lease.
+struct AgentHeartbeat {
+  HostId host;
+};
+
+/// Controller -> Agent heartbeat reply. `known == false` means the
+/// Controller holds no registration for the host (it restarted and lost its
+/// registry): the Agent must re-register immediately.
+struct HeartbeatAck {
+  bool known = false;
+  std::uint64_t controller_epoch = 0;
+};
+
 /// Agent -> Controller every 5 minutes (§5): pinglists for the host's RNICs
 /// plus refreshed comm info for its service-tracing targets.
 struct PinglistPullRequest {

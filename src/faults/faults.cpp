@@ -1,7 +1,9 @@
 #include "faults/faults.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -332,7 +334,16 @@ void FaultInjector::clear(int handle) {
 }
 
 void FaultInjector::clear_all() {
-  while (!active_.empty()) clear(active_.begin()->first);
+  // Revert in ascending-handle (injection) order. Iterating the
+  // unordered_map directly would let the platform's hashing decide the
+  // revert order, and stacked faults that capture "before" state (two CPU
+  // loads on one host, say) then settle on implementation-defined values —
+  // breaking seeded-run byte-identity across a clear_all().
+  std::vector<int> handles;
+  handles.reserve(active_.size());
+  for (const auto& [h, a] : active_) handles.push_back(h);
+  std::sort(handles.begin(), handles.end());
+  for (int h : handles) clear(h);
 }
 
 const FaultRecord& FaultInjector::record(int handle) const {

@@ -27,6 +27,10 @@ const char* probe_event_name(ProbeEventKind k) {
     case ProbeEventKind::kUploadDropped: return "upload-dropped";
     case ProbeEventKind::kAnalyzerIngest: return "analyzer-ingest";
     case ProbeEventKind::kVerdict: return "analyzer-verdict";
+    case ProbeEventKind::kLeaseExpired: return "lease-expired";
+    case ProbeEventKind::kReregistered: return "reregistered";
+    case ProbeEventKind::kSpilled: return "spill-ring-enter";
+    case ProbeEventKind::kSpillDrained: return "spill-ring-drain";
   }
   return "?";
 }

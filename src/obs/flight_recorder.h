@@ -62,6 +62,10 @@ enum class ProbeEventKind : std::uint8_t {
   kUploadDropped,    // carrying batch dropped for good (cap / host down)
   kAnalyzerIngest,   // record landed in an ingest shard; a = shard index
   kVerdict,          // Analyzer attributed a cause; a = AnomalyCause
+  kLeaseExpired,     // Agent's Controller lease lapsed while record waited
+  kReregistered,     // Agent re-registered after a lost lease
+  kSpilled,          // carrying batch parked in spill ring; a = batch seq
+  kSpillDrained,     // batch left spill ring on reconnect; a = batch seq
 };
 
 const char* probe_event_name(ProbeEventKind k);

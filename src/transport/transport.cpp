@@ -55,6 +55,8 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
   AckedFn on_acked;
   Counters counters;
   std::uint64_t next_seq = 1;
+  bool peer_is_down = false;
+  std::uint64_t peer_epoch = 1;  // bumped on every down -> up transition
   // Ordered by seq so backpressure can evict the oldest unacked message.
   std::map<std::uint64_t, std::shared_ptr<Msg>> unacked;
 
@@ -78,12 +80,15 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
   }
 
   /// Retransmit timer for the Nth attempt (1-based): exponential backoff
-  /// capped at max_retry_timeout.
-  TimeNs retry_after(std::uint32_t attempt) const {
+  /// capped at max_retry_timeout, plus per-channel deterministic jitter so
+  /// concurrent retries across channels never fire on identical ticks.
+  TimeNs retry_after(std::uint32_t attempt) {
     double t = static_cast<double>(cfg.retry_timeout) *
                std::pow(cfg.retry_backoff, static_cast<double>(attempt - 1));
     t = std::min(t, static_cast<double>(cfg.max_retry_timeout));
-    return static_cast<TimeNs>(t);
+    TimeNs out = static_cast<TimeNs>(t);
+    if (cfg.retry_jitter > 0) out += rng.uniform_int(0, cfg.retry_jitter);
+    return out;
   }
 
   /// Abandon a message permanently; `result` names the telemetry counter.
@@ -105,7 +110,11 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
     }
     if (on_attempt) on_attempt(m->seq, m->attempts);
     std::weak_ptr<Impl> weak = weak_from_this();
-    if (rng.chance(effective_loss())) {
+    if (peer_is_down) {
+      // The peer process is gone: the bytes leave the NIC and die unread.
+      ++counters.lost;
+      m_lost.inc();
+    } else if (rng.chance(effective_loss())) {
       ++counters.lost;
       m_lost.inc();
     } else {
@@ -116,6 +125,12 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
       sched.schedule_after(lat, [weak, m] {
         auto self = weak.lock();
         if (!self || m->cancelled) return;
+        if (self->peer_is_down) {
+          // The peer crashed while this delivery was in flight.
+          ++self->counters.lost;
+          self->m_lost.inc();
+          return;
+        }
         self->deliver(m);
       });
     }
@@ -224,6 +239,17 @@ void Channel::note_app_drop(std::uint64_t n) {
   impl_->m_dropped.inc(n);
 }
 
+void Channel::set_peer_down(bool down) {
+  Impl& im = *impl_;
+  if (im.peer_is_down == down) return;
+  im.peer_is_down = down;
+  if (!down) ++im.peer_epoch;  // a fresh (peer, epoch) establishment
+}
+
+bool Channel::peer_down() const { return impl_->peer_is_down; }
+
+std::uint64_t Channel::peer_epoch() const { return impl_->peer_epoch; }
+
 const Channel::Counters& Channel::counters() const {
   return impl_->counters;
 }
@@ -290,6 +316,10 @@ void RpcChannel::cancel_pending() {
 }
 
 void RpcChannel::set_server(ServerFn server) { *server_ = std::move(server); }
+
+void RpcChannel::set_server_down(bool down) { req_->set_peer_down(down); }
+
+bool RpcChannel::server_down() const { return req_->peer_down(); }
 
 std::size_t RpcChannel::pending_calls() const { return pending_->size(); }
 

@@ -63,6 +63,10 @@ struct ChannelConfig {
   TimeNs retry_timeout = msec(50);   // first retransmit timer
   double retry_backoff = 2.0;        // timer multiplier per attempt
   TimeNs max_retry_timeout = sec(2); // backoff ceiling
+  // Uniform [0, retry_jitter] added to every retransmit timer from the
+  // channel's own seeded Rng: channels that saw the same loss at the same
+  // tick retry on different ticks (no thundering herd), deterministically.
+  TimeNs retry_jitter = msec(5);
 };
 
 /// Fault-injectable control-plane impairment, shared by every channel of a
@@ -129,6 +133,17 @@ class Channel {
   /// control-plane drop in one counter: rpm_transport_msgs_total{result="dropped"}.
   void note_app_drop(std::uint64_t n = 1);
 
+  /// Connection lifecycle: channels are established per (peer, epoch).
+  /// While the peer process is down every transmission attempt is eaten by
+  /// the network (counted lost), including deliveries already in flight;
+  /// retries keep running and expire normally, so the sender experiences the
+  /// outage as expired messages handed back through on_expire. Bringing the
+  /// peer back up starts a new connection epoch.
+  void set_peer_down(bool down);
+  [[nodiscard]] bool peer_down() const;
+  /// Number of times the peer has been (re)established, starting at 1.
+  [[nodiscard]] std::uint64_t peer_epoch() const;
+
   struct Counters {
     std::uint64_t sent = 0;        // send() calls accepted
     std::uint64_t delivered = 0;   // first deliveries to the handler
@@ -176,6 +191,12 @@ class RpcChannel {
   void cancel_pending();
 
   void set_server(ServerFn server);
+
+  /// Server-process lifecycle: while down, requests die on the wire (the
+  /// client sees silence, then expiry) and the handler never runs. Responses
+  /// already in flight from before the crash may still arrive.
+  void set_server_down(bool down);
+  [[nodiscard]] bool server_down() const;
 
   [[nodiscard]] Channel& request_channel() { return *req_; }
   [[nodiscard]] Channel& response_channel() { return *rsp_; }

@@ -60,8 +60,14 @@ class AgentTestBase : public ::testing::Test {
       transport::RpcChannel& rpc = cp.make_rpc_channel(
           "ctrl" + suffix, [this](const std::any& req) -> std::any {
             if (const auto* r = std::any_cast<AgentRegistration>(&req)) {
-              ctrl_.register_agent(r->host, r->rnics);
-              return std::any(true);
+              RegistrationAck ack;
+              ack.accepted = ctrl_.register_agent(r->host, r->rnics);
+              ack.controller_epoch = ctrl_.epoch();
+              ack.lease_duration = ctrl_.config().lease_duration;
+              return std::any(ack);
+            }
+            if (const auto* r = std::any_cast<AgentHeartbeat>(&req)) {
+              return std::any(ctrl_.heartbeat(r->host));
             }
             if (const auto* r = std::any_cast<PinglistPullRequest>(&req)) {
               return std::any(serve_pinglist_pull(ctrl_, *r));

@@ -635,6 +635,84 @@ TEST_F(AnalyzerTest, RetriedBatchLeavesVoteTallyUnchanged) {
   EXPECT_EQ(thrice.chain_json, once.chain_json);
 }
 
+TEST_F(AnalyzerTest, SpillDrainedBatchesLeaveVoteTallyUnchanged) {
+  // During an Analyzer outage the Agent parks fully-retried batches in its
+  // spill ring and drains them on reconnect — out of order relative to the
+  // wire, possibly duplicated by the at-least-once transport, and landing
+  // in a later analysis period than they would have. Summed across periods,
+  // the (host, seq) dedup and period bucketing must absorb that late
+  // history without double-counting a single Algorithm-1 vote.
+  const auto make_batch = [&](std::uint64_t seq) {
+    UploadBatch b;
+    b.host = HostId{0};
+    b.seq = seq;
+    for (int i = 0; i < 5; ++i) {
+      b.records.push_back(make_record(RnicId{0}, RnicId{12},
+                                      ProbeStatus::kTimeout,
+                                      ProbeKind::kInterTor));
+    }
+    return b;
+  };
+  const UploadBatch b1 = make_batch(1);
+  const UploadBatch b2 = make_batch(2);
+  const UploadBatch b3 = make_batch(3);
+  const UploadBatch b4 = make_batch(4);
+
+  std::vector<ProbeRecord> healthy;
+  for (int i = 0; i < 50; ++i) {
+    healthy.push_back(make_record(RnicId{4}, RnicId{8}, ProbeStatus::kOk,
+                                  ProbeKind::kInterTor));
+  }
+
+  struct Tally {
+    std::size_t records = 0;
+    std::size_t votes = 0;
+  };
+  const auto tally_period = [](Analyzer& a, Tally& t) {
+    const PeriodReport& rep = a.analyze_now();
+    t.records += rep.records_processed;
+    for (const Problem& p : rep.problems) {
+      if (p.category == ProblemCategory::kSwitchNetworkProblem &&
+          !p.top_link_votes.empty()) {
+        t.votes += p.top_link_votes.front().second;
+      }
+    }
+  };
+  const auto feed = [&](Analyzer& a) {
+    for (const topo::HostInfo& h : topo_.hosts()) a.upload(h.id, {});
+    a.upload(HostId{0}, healthy);
+  };
+
+  // Baseline: all four batches arrive in order inside one period.
+  Analyzer in_order(topo_, ctrl_, sched_);
+  Tally baseline;
+  feed(in_order);
+  for (const UploadBatch* b : {&b1, &b2, &b3, &b4}) {
+    in_order.ingest_batch(UploadBatch(*b));
+  }
+  tally_period(in_order, baseline);
+  EXPECT_EQ(baseline.records, 70u);
+  EXPECT_EQ(baseline.votes, 20u);  // 4 batches x 5 distinct timeout probes
+
+  // Outage replay: batch 1 lands normally; the period closes; then the
+  // spill ring drains 3, 2, a transport-duplicated 2, and 4 into the next
+  // period.
+  Analyzer replay(topo_, ctrl_, sched_);
+  Tally late;
+  feed(replay);
+  replay.ingest_batch(UploadBatch(b1));
+  tally_period(replay, late);
+  feed(replay);
+  for (const UploadBatch* b : {&b3, &b2, &b2, &b4}) {
+    replay.ingest_batch(UploadBatch(*b));
+  }
+  tally_period(replay, late);
+
+  // The healthy background was fed twice (once per period); discount it.
+  EXPECT_EQ(late.records - healthy.size(), baseline.records);
+  EXPECT_EQ(late.votes, baseline.votes);
+}
+
 TEST_F(AnalyzerTest, ConfigValidation) {
   AnalyzerConfig bad;
   bad.period = 0;

@@ -202,6 +202,24 @@ TEST_F(FaultsTest, ClearAllRevertsEverything) {
   EXPECT_DOUBLE_EQ(cluster_.fabric().link_state(LinkId{0}).corrupt_prob, 0.0);
 }
 
+TEST_F(FaultsTest, ClearAllRevertsInAscendingHandleOrder) {
+  // Two stacked CPU faults on one host, each capturing the load it saw at
+  // injection time. clear_all() must revert in ascending-handle (injection)
+  // order on every platform: overload first (restoring the idle baseline),
+  // then the Agent-occupation fault, whose captured "before" re-applies the
+  // 0.5 overload. Iterating the unordered map directly would let the hash
+  // function pick the survivor and break seeded-run byte-identity.
+  const double baseline = cluster_.host(HostId{2}).cpu_load();
+  inj_.inject_cpu_overload(HostId{2}, 0.5);
+  inj_.inject_agent_cpu_occupation(HostId{2});
+  EXPECT_DOUBLE_EQ(cluster_.host(HostId{2}).cpu_load(), 1.0);
+
+  inj_.clear_all();
+  EXPECT_TRUE(inj_.active_faults().empty());
+  EXPECT_NE(cluster_.host(HostId{2}).cpu_load(), baseline);
+  EXPECT_DOUBLE_EQ(cluster_.host(HostId{2}).cpu_load(), 0.5);
+}
+
 TEST_F(FaultsTest, ClearIsIdempotent) {
   const int h = inj_.inject_rnic_down(RnicId{0});
   inj_.clear(h);

@@ -136,6 +136,56 @@ TEST(RPingmeshE2E, QpnResetFilteredAsNoise) {
   EXPECT_TRUE(has_problem(*rep, ProblemCategory::kQpnResetNoise));
 }
 
+TEST(RPingmeshE2E, QpnResetWithControllerRestartStaysNoise) {
+  // The §4.3.1 worst case: an Agent restarts WHILE the Controller is down,
+  // so the fresh QPNs cannot be registered anywhere and every peer keeps
+  // probing QPNs that no longer exist — straight through the Controller's
+  // own restart, which wiped the registry. The resulting timeout burst must
+  // be triaged as probe noise (network-innocent), never pinned on a switch
+  // or an RNIC, and the whole mesh must re-register once the Controller is
+  // back.
+  Deployment d;
+  d.cluster.run_for(sec(25));
+  const TimeNs crash_at = d.cluster.scheduler().now();
+  d.rpm.crash_controller();
+  ASSERT_TRUE(d.rpm.controller_down());
+  d.cluster.run_for(sec(2));
+  d.rpm.agent(HostId{1}).restart();  // restarts into a dead Controller
+  d.cluster.run_for(sec(23));
+  d.rpm.restart_controller();
+  ASSERT_FALSE(d.rpm.controller_down());
+  // Leases expired during the blackout; capped backoff re-registers every
+  // Agent and the post-registration pinglist refresh spreads the new QPNs.
+  d.cluster.run_for(sec(25));
+
+  std::size_t qpn_noise_timeouts = 0;
+  const Problem* noise = nullptr;
+  for (const PeriodReport& rep : d.rpm.analyzer().history()) {
+    if (rep.period_end <= crash_at) continue;
+    qpn_noise_timeouts += rep.timeouts_qpn_reset;
+    // The control-plane event must not masquerade as a network fault.
+    EXPECT_FALSE(has_problem(rep, ProblemCategory::kSwitchNetworkProblem));
+    EXPECT_FALSE(has_problem(rep, ProblemCategory::kRnicProblem));
+    if (const Problem* p = find_problem(rep, ProblemCategory::kQpnResetNoise)) {
+      noise = p;
+    }
+  }
+  EXPECT_GT(qpn_noise_timeouts, 0u);
+  ASSERT_NE(noise, nullptr) << "stale-QPN burst was never triaged as noise";
+
+  // The receipt names the QPN-reset triage branch, including the registry
+  // wipe across the Controller restart.
+  const std::string receipt = d.rpm.analyzer().explain(noise->problem_id);
+  EXPECT_NE(receipt.find("QPN"), std::string::npos) << receipt;
+  EXPECT_NE(receipt.find("restart"), std::string::npos) << receipt;
+
+  // Lease-driven recovery: every host re-registered with the new epoch.
+  EXPECT_EQ(d.rpm.controller().num_registered_agents(),
+            d.cluster.num_hosts());
+  EXPECT_GT(d.rpm.agent(HostId{0}).lease_expiries(), 0u);
+  EXPECT_GT(d.rpm.agent(HostId{0}).reregistrations(), 0u);
+}
+
 TEST(RPingmeshE2E, SwitchPortFlappingLocalizedByVoting) {
   Deployment d;
   d.cluster.run_for(sec(25));

@@ -196,6 +196,57 @@ TEST(Export, HistogramRendersAsSummary) {
             std::string::npos);
 }
 
+TEST(Export, SurvivabilityMetricsRoundTrip) {
+  // The five metric families the control-plane survivability layer emits
+  // (src/core agent + controller) must survive both exporters intact: a
+  // counter pair, a depth gauge, a registration gauge, and the
+  // reconnect-backoff histogram (rendered as a summary).
+  MetricsRegistry reg;
+  reg.counter("rpm_agent_lease_expired_total", "Controller leases lost",
+              {{"host", "1"}})
+      .inc(2);
+  reg.counter("rpm_agent_reregistrations_total",
+              "Re-registrations after a lost lease", {{"host", "1"}})
+      .inc();
+  reg.gauge("rpm_agent_spill_ring_depth", "Batches parked for catch-up",
+            {{"host", "1"}})
+      .set(3);
+  reg.gauge("rpm_controller_registered_agents",
+            "Hosts with a live registration lease")
+      .set(16);
+  Histogram h = reg.histogram("rpm_agent_reconnect_backoff_delay_ns",
+                              "Backoff before re-register/catch-up attempts",
+                              {{"host", "1"}});
+  h.observe(5e8);
+  h.observe(1e9);
+
+  const Snapshot snap = reg.snapshot();
+  const std::string prom = to_prometheus(snap);
+  EXPECT_NE(prom.find("rpm_agent_lease_expired_total{host=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("rpm_agent_reregistrations_total{host=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("rpm_agent_spill_ring_depth{host=\"1\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("rpm_controller_registered_agents 16\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE rpm_agent_reconnect_backoff_delay_ns summary"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("rpm_agent_reconnect_backoff_delay_ns_count{host=\"1\"} 2\n"),
+      std::string::npos);
+
+  const std::string json = to_json(snap);
+  for (const char* name :
+       {"rpm_agent_lease_expired_total", "rpm_agent_reregistrations_total",
+        "rpm_agent_spill_ring_depth", "rpm_controller_registered_agents",
+        "rpm_agent_reconnect_backoff_delay_ns"}) {
+    EXPECT_NE(json.find(std::string("\"name\":\"") + name + "\""),
+              std::string::npos)
+        << name;
+  }
+}
+
 TEST(Export, PrometheusEscapesHostileLabelValues) {
   // A label value is free text (file paths, service names, summaries): the
   // exposition format requires \, ", and newline escaped, or one hostile

@@ -1,6 +1,7 @@
 // Unit tests for the control-plane transport: delivery timing, loss/retry/
 // backoff, bounded-window backpressure, cancellation, counter invariants,
 // RPC correlation, and plane-wide degradation.
+#include <algorithm>
 #include <any>
 #include <cstdint>
 #include <string>
@@ -23,6 +24,7 @@ class TransportTest : public ::testing::Test {
     ChannelConfig cfg;
     cfg.base_latency = usec(50);
     cfg.latency_jitter = 0;
+    cfg.retry_jitter = 0;
     cfg.loss_prob = 0.0;
     cfg.reorder_prob = 0.0;
     return cfg;
@@ -306,6 +308,70 @@ TEST_F(TransportTest, DegradationAddsLatencyAndLossPlaneWide) {
   sched_.run_until(sched_.now() + sec(1));
   ASSERT_EQ(delivered_at.size(), 2u);
   EXPECT_EQ(delivered_at[1], sent_at + usec(50));
+}
+
+TEST_F(TransportTest, RetryJitterAvoidsThunderingHerd) {
+  // Eight channels lose their first transmission at the same tick. With
+  // retry_jitter on, each channel's own seeded Rng spreads the retransmit
+  // timers: the second attempts must NOT all land on the same tick (the
+  // thundering herd that would re-bury a Controller recovering from a
+  // crash), yet every one stays inside [retry_timeout, retry_timeout +
+  // retry_jitter].
+  constexpr int kChannels = 8;
+  ChannelConfig cfg = lossless();
+  cfg.loss_prob = 1.0;
+  cfg.retry_jitter = msec(5);
+  std::vector<TimeNs> second_attempt_at;
+  for (int i = 0; i < kChannels; ++i) {
+    Channel& ch = cp_.make_channel("t.herd" + std::to_string(i),
+                                   [](std::uint64_t, std::any&) {}, cfg);
+    ch.set_on_attempt([&](std::uint64_t, std::uint32_t attempt) {
+      if (attempt == 2) second_attempt_at.push_back(sched_.now());
+    });
+    ch.send(std::any(i));
+  }
+  sched_.run_until(sec(5));
+
+  ASSERT_EQ(second_attempt_at.size(), static_cast<std::size_t>(kChannels));
+  for (TimeNs t : second_attempt_at) {
+    EXPECT_GE(t, cfg.retry_timeout);
+    EXPECT_LE(t, cfg.retry_timeout + cfg.retry_jitter);
+  }
+  std::sort(second_attempt_at.begin(), second_attempt_at.end());
+  const auto distinct = static_cast<std::size_t>(
+      std::unique(second_attempt_at.begin(), second_attempt_at.end()) -
+      second_attempt_at.begin());
+  EXPECT_GE(distinct, 2u) << "all " << kChannels
+                          << " channels retried on the same tick";
+}
+
+TEST_F(TransportTest, PeerDownDropsTrafficAndBumpsEpochOnRecovery) {
+  std::size_t delivered = 0;
+  Channel& ch = cp_.make_channel(
+      "t.down", [&](std::uint64_t, std::any&) { ++delivered; }, lossless());
+  EXPECT_FALSE(ch.peer_down());
+  EXPECT_EQ(ch.peer_epoch(), 1u);
+
+  // In flight when the peer dies: counted lost, never delivered.
+  ch.send(std::any(1));
+  ch.set_peer_down(true);
+  sched_.run_until(sec(1));
+  EXPECT_EQ(delivered, 0u);
+
+  // Fresh sends against a dead peer burn their attempts and expire.
+  ch.send(std::any(2));
+  sched_.run_until(sec(5));
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_GE(ch.counters().expired, 1u);
+  EXPECT_GT(ch.counters().lost, 0u);
+
+  // Recovery: epoch bumps (stale-response guard) and delivery resumes.
+  ch.set_peer_down(false);
+  EXPECT_EQ(ch.peer_epoch(), 2u);
+  ch.send(std::any(3));
+  sched_.run_until(sched_.now() + sec(1));
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_FALSE(ch.peer_down());
 }
 
 TEST_F(TransportTest, ControlPlaneCountsItsChannels) {
