@@ -29,30 +29,20 @@ Analyzer::Analyzer(const topo::Topology& topo, const Controller& controller,
   if (cfg_.period <= 0) {
     throw std::invalid_argument("AnalyzerConfig: period must be > 0");
   }
-  if (cfg_.ingest_shards == 0) cfg_.ingest_shards = 1;
-  shards_.resize(cfg_.ingest_shards);
+  cfg_.ingest.validate();
+  IngestHooks hooks;
+  // Receipt of ANY submit — duplicate included — proves the Agent process
+  // alive: host-down detection keys on received uploads, and a retried
+  // batch is still an upload the host managed to get onto the wire.
+  hooks.host_alive = [this](HostId h) {
+    last_upload_[h.value] = sched_.now();
+    known_hosts_.insert(h.value);
+  };
+  hooks.tap = &tap_;
+  sink_ = make_ingest_sink(cfg_.ingest, std::move(hooks));
   auto& reg = telemetry::registry();
   metrics_.periods =
       reg.counter("rpm_analyzer_periods_total", "Analysis periods executed");
-  metrics_.uploads = reg.counter("rpm_analyzer_uploads_total",
-                                 "Agent record batches received");
-  metrics_.records = reg.counter("rpm_analyzer_records_total",
-                                 "Probe records received from Agents");
-  metrics_.batches_accepted =
-      reg.counter("rpm_analyzer_batches_total",
-                  "Transport upload batches by dedup outcome",
-                  {{"result", "accepted"}});
-  metrics_.batches_duplicate =
-      reg.counter("rpm_analyzer_batches_total",
-                  "Transport upload batches by dedup outcome",
-                  {{"result", "duplicate"}});
-  metrics_.bucket_records.reserve(cfg_.ingest_shards);
-  for (std::size_t b = 0; b < cfg_.ingest_shards; ++b) {
-    metrics_.bucket_records.push_back(reg.histogram(
-        "rpm_analyzer_ingest_bucket_records",
-        "Records merged from one ingest shard at period close",
-        {{"bucket", std::to_string(b)}}));
-  }
   for (int s = 0; s < kNumStages; ++s) {
     metrics_.stage_ns[s] =
         reg.histogram("rpm_analyzer_stage_ns",
@@ -74,87 +64,6 @@ Analyzer::Analyzer(const topo::Topology& topo, const Controller& controller,
         "rpm_analyzer_problem_priority_total", "Problems emitted by priority",
         {{"priority", priority_name(static_cast<Priority>(p))}});
   }
-}
-
-void Analyzer::ingest_batch(UploadBatch batch) {
-  // Belt-and-braces: during an outage the upload channels are peer-down and
-  // nothing should arrive, but a delivery that races the cutover must not
-  // land in a shard no period will ever drain correctly.
-  if (outage_) return;
-  // Any delivery — duplicate included — proves the Agent process is alive:
-  // host-down detection keys on received uploads, and a retried batch is
-  // still an upload the host managed to get onto the wire.
-  last_upload_[batch.host.value] = sched_.now();
-  known_hosts_.insert(batch.host.value);
-  DedupState& st = batch_dedup_[batch.host.value];
-  if (st.seen.contains(batch.seq) ||
-      (st.max_seq > cfg_.dedup_window &&
-       batch.seq < st.max_seq - cfg_.dedup_window)) {
-    // Repeat delivery of a retried batch (or one so old it fell out of the
-    // window — count it as a duplicate rather than risk double-counting).
-    metrics_.batches_duplicate.inc();
-    return;
-  }
-  st.seen.insert(batch.seq);
-  if (batch.seq > st.max_seq) {
-    st.max_seq = batch.seq;
-    // Slide the window: forget seqs that can no longer arrive as fresh.
-    if (st.max_seq > cfg_.dedup_window) {
-      const std::uint64_t floor = st.max_seq - cfg_.dedup_window;
-      std::erase_if(st.seen, [floor](std::uint64_t s) { return s < floor; });
-    }
-  }
-  metrics_.batches_accepted.inc();
-  metrics_.uploads.inc();
-  metrics_.records.inc(batch.records.size());
-  ingest(batch.host, std::move(batch.records));
-}
-
-void Analyzer::upload(HostId host, std::vector<ProbeRecord> records) {
-  metrics_.uploads.inc();
-  metrics_.records.inc(records.size());
-  last_upload_[host.value] = sched_.now();
-  known_hosts_.insert(host.value);
-  ingest(host, std::move(records));
-}
-
-void Analyzer::ingest(HostId host, std::vector<ProbeRecord>&& records) {
-  if (tap_) {
-    for (const ProbeRecord& r : records) tap_(r);
-  }
-  const std::size_t shard_idx = host.value % shards_.size();
-  if (obs::recorder().enabled()) {
-    for (const ProbeRecord& r : records) {
-      if (r.flight_sampled) {
-        obs::recorder().record(r.id, obs::ProbeEventKind::kAnalyzerIngest,
-                               shard_idx);
-      }
-    }
-  }
-  std::vector<ProbeRecord>& shard = shards_[shard_idx];
-  const std::size_t needed = shard.size() + records.size();
-  if (shard.capacity() < needed) {
-    // Grow geometrically: an exact-size reserve per batch would force a
-    // reallocation on every append, quadratic over a period.
-    shard.reserve(std::max(needed, shard.capacity() * 2));
-  }
-  shard.insert(shard.end(), std::make_move_iterator(records.begin()),
-               std::make_move_iterator(records.end()));
-}
-
-std::vector<ProbeRecord> Analyzer::collect_shards() {
-  std::size_t total = 0;
-  for (const auto& s : shards_) total += s.size();
-  std::vector<ProbeRecord> merged;
-  merged.reserve(total);
-  for (std::size_t b = 0; b < shards_.size(); ++b) {
-    std::vector<ProbeRecord>& s = shards_[b];
-    metrics_.bucket_records[b].observe(static_cast<double>(s.size()));
-    merged.insert(merged.end(), std::make_move_iterator(s.begin()),
-                  std::make_move_iterator(s.end()));
-    s.clear();  // keeps capacity for the next period
-  }
-  return merged;
 }
 
 void Analyzer::register_service(ServiceBinding binding) {
@@ -181,6 +90,10 @@ void Analyzer::stop() {
 void Analyzer::set_outage(bool outage) {
   if (outage_ == outage) return;
   outage_ = outage;
+  // Belt-and-braces: while paused the sink drops submits on the floor, so a
+  // delivery that races the channel cutover cannot land in a shard no
+  // period will ever drain correctly.
+  sink_->set_paused(outage);
   if (outage) {
     telemetry::tracer().instant("analyzer-outage-begin", "control");
     return;
@@ -302,7 +215,7 @@ const PeriodReport& Analyzer::analyze_now() {
   rep.period_end = now;
   last_period_end_ = now;
 
-  std::vector<ProbeRecord> records = collect_shards();
+  std::vector<ProbeRecord> records = sink_->drain_period();
   rep.records_processed = records.size();
 
   // Diagnosis explainability (src/obs): every verdict this period gets an

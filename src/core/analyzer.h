@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/controller.h"
+#include "core/ingest.h"
 #include "core/types.h"
 #include "obs/diagnosis.h"
 #include "sim/scheduler.h"
@@ -56,14 +57,13 @@ struct AnalyzerConfig {
   double degradation_threshold = 0.5;          // metric below => severe (P0)
   bool enable_cpu_noise_filters = true;        // Fig. 6 improvements
   std::size_t history_limit = 512;
-  // Sharded ingestion (ROADMAP): uploads land in ingest_shards buckets keyed
-  // by prober host, merged only at period close — the bucket layout a
-  // multi-threaded runtime needs to ingest concurrently.
-  std::size_t ingest_shards = 8;
-  // At-least-once transport delivery means retried batches arrive twice;
-  // per host the Analyzer remembers the batch seqs inside a sliding window
-  // of this many seqs below the highest seen and drops repeats.
-  std::uint64_t dedup_window = 1024;
+  // Ingestion runtime knobs (sharding, worker threads, queue bounds, batch
+  // dedup window) — see IngestConfig in core/ingest.h. Validated (throws on
+  // nonsense) at Analyzer construction. ingest.threads = 0 keeps the
+  // historical inline single-threaded path; > 0 runs a worker pool with
+  // byte-identical verdicts for any thread count.
+  using Ingest = IngestConfig;
+  Ingest ingest{};
 };
 
 /// How the Analyzer watches a service's key performance metric (§4.3.4):
@@ -78,14 +78,25 @@ class Analyzer {
   Analyzer(const topo::Topology& topo, const Controller& controller,
            sim::EventScheduler& sched, AnalyzerConfig cfg = {});
 
-  /// Transport endpoint for Agent uploads: deduplicates retried batches by
-  /// (host, seq), then ingests. Receipt of ANY batch — duplicate included —
-  /// proves the host alive (host-down logic keys on received uploads).
-  void ingest_batch(UploadBatch batch);
+  /// The ingestion endpoint. This is the Analyzer's entire public ingest
+  /// surface: transport deliveries call sink().submit() (dedup by (host,
+  /// seq); any batch — duplicate included — proves the host alive), trusted
+  /// local producers call sink().submit_trusted() or the upload()
+  /// convenience below. The sink owns sharding, duplicate suppression, and
+  /// — with config().ingest.threads > 0 — the worker pool (core/ingest.h).
+  [[nodiscard]] IngestSink& sink() { return *sink_; }
+
+  /// DEPRECATED shim, kept for one release: forwards to sink().submit().
+  /// New code ingests through the IngestSink interface.
+  [[deprecated("ingest via Analyzer::sink().submit() instead")]]
+  void ingest_batch(UploadBatch batch) { sink_->submit(std::move(batch)); }
 
   /// Trusted local ingestion (tests, benches, co-located producers): no
   /// duplicate suppression, no batch seq — records go straight to a shard.
-  void upload(HostId host, std::vector<ProbeRecord> records);
+  /// Convenience for sink().submit_trusted().
+  void upload(HostId host, std::vector<ProbeRecord> records) {
+    sink_->submit_trusted(host, std::move(records));
+  }
 
   /// Optional observer invoked for every uploaded record (monitoring UIs,
   /// benches plotting per-probe series). Not used by the analysis itself.
@@ -164,18 +175,7 @@ class Analyzer {
   sim::EventScheduler& sched_;
   AnalyzerConfig cfg_;
 
-  /// Append `records` to the owning shard of `host` (reserve + move).
-  void ingest(HostId host, std::vector<ProbeRecord>&& records);
-  /// Drain every shard into one period-sized vector (merge at period close).
-  [[nodiscard]] std::vector<ProbeRecord> collect_shards();
-
   std::function<void(const ProbeRecord&)> tap_;
-  std::vector<std::vector<ProbeRecord>> shards_;  // by prober host % N
-  struct DedupState {
-    std::uint64_t max_seq = 0;
-    std::unordered_set<std::uint64_t> seen;
-  };
-  std::unordered_map<std::uint32_t, DedupState> batch_dedup_;  // by host id
   std::unordered_map<std::uint32_t, TimeNs> last_upload_;  // by host id
   std::unordered_set<std::uint32_t> known_hosts_;
   std::unordered_map<std::uint32_t, TimeNs> rnic_blamed_until_;
@@ -188,19 +188,20 @@ class Analyzer {
   TimeNs last_period_end_ = 0;
   bool outage_ = false;
   std::unique_ptr<sim::PeriodicTask> period_task_;
+  // Declared after the state its hooks touch (tap_, last_upload_,
+  // known_hosts_): destroyed first, joining any worker threads before the
+  // members they could reach go away.
+  std::unique_ptr<IngestSink> sink_;
 
   // Self-observability: the 20 s pipeline is the Analyzer's hot path; each
   // stage's wall-clock cost is tracked so future sharding/batching PRs can
   // show where the time goes.
   static constexpr int kNumStages = 7;
   static const char* stage_name(int stage);
+  // Ingest-side series (uploads, records, batches by dedup outcome, bucket
+  // sizes, queue depth/drops) are owned by the IngestSink.
   struct Metrics {
     telemetry::Counter periods;
-    telemetry::Counter uploads;
-    telemetry::Counter records;
-    telemetry::Counter batches_accepted;
-    telemetry::Counter batches_duplicate;
-    std::vector<telemetry::Histogram> bucket_records;  // per ingest shard
     telemetry::Histogram stage_ns[kNumStages];
     telemetry::Counter timeouts_by_cause[5];    // indexed by AnomalyCause
     telemetry::Counter problems_by_category[7];  // indexed by ProblemCategory

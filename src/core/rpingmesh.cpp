@@ -14,13 +14,15 @@ RPingmesh::RPingmesh(host::Cluster& cluster, RPingmeshConfig cfg)
   agents_.reserve(cluster_.num_hosts());
   for (const topo::HostInfo& h : cluster_.topology().hosts()) {
     const std::string suffix = "/h" + std::to_string(h.id.value);
-    // Agent -> Analyzer: the upload stream. Records are moved out of the
-    // payload on first delivery; ingest_batch dedups retried batches by
-    // (host, seq) before touching the body.
+    // Agent -> Analyzer: the upload stream hands off into the Analyzer's
+    // IngestSink. Records are moved out of the payload on first delivery;
+    // the sink dedups retried batches by (host, seq) before touching the
+    // body, and with ingest.threads > 0 the delivery only enqueues — the
+    // worker pool does the rest off the sim thread.
     transport::Channel& up = cp.make_channel(
         "upload" + suffix, [this](std::uint64_t, std::any& payload) {
           if (auto* batch = std::any_cast<UploadBatch>(&payload)) {
-            analyzer_.ingest_batch(std::move(*batch));
+            analyzer_.sink().submit(std::move(*batch));
           }
         });
     // Agent -> Controller: registration + pinglist pulls. Both handlers are

@@ -157,6 +157,9 @@ Snapshot MetricsRegistry::snapshot() {
       s.counter_value = cell->counter.load(std::memory_order_relaxed);
       s.gauge_value = cell->gauge.load(std::memory_order_relaxed);
       if (cell->histogram) {
+        // Per-series lock: concurrent Histogram::observe must not tear the
+        // (count, sum, percentile) sample.
+        std::lock_guard<std::mutex> hist_lock(cell->histogram->mu);
         s.hist_count = cell->histogram->hist.count();
         s.hist_sum = cell->histogram->sum;
         s.hist_p50 = cell->histogram->hist.percentile(0.50);

@@ -23,8 +23,10 @@
 // benches) leave no dangling callbacks behind.
 //
 // Thread-safety: registration, collectors, and snapshots take a mutex;
-// Counter::inc / Gauge::set are lock-free atomics. Histogram::observe is NOT
-// thread-safe (the simulator is single-threaded; guard it before sharing).
+// Counter::inc / Gauge::set are lock-free atomics. Histogram::observe (and
+// its readers: count/sum/percentile, snapshots) is guarded by a per-series
+// mutex, so concurrent observers — e.g. the Analyzer's ingest worker pool —
+// are safe; the lock is uncontended (~ns) in single-threaded use.
 #pragma once
 
 #include <atomic>
@@ -58,6 +60,10 @@ namespace detail {
 struct HistogramCell {
   explicit HistogramCell(double min_value, double max_value)
       : hist(min_value, max_value) {}
+  // Guards hist + sum: LogHistogram itself stays lock-free-unaware (it is
+  // also used un-shared in hot per-component state); sharing happens only
+  // through this cell.
+  mutable std::mutex mu;
   LogHistogram hist;
   double sum = 0.0;
 };
@@ -122,18 +128,24 @@ class Histogram {
   Histogram() = default;
   void observe(double v) const {
     if (!cell_ || !cell_->histogram) return;
+    std::lock_guard<std::mutex> lock(cell_->histogram->mu);
     cell_->histogram->hist.add(v);
     cell_->histogram->sum += v;
   }
   [[nodiscard]] std::uint64_t count() const {
-    return cell_ && cell_->histogram ? cell_->histogram->hist.count() : 0;
+    if (!cell_ || !cell_->histogram) return 0;
+    std::lock_guard<std::mutex> lock(cell_->histogram->mu);
+    return cell_->histogram->hist.count();
   }
   [[nodiscard]] double sum() const {
-    return cell_ && cell_->histogram ? cell_->histogram->sum : 0.0;
+    if (!cell_ || !cell_->histogram) return 0.0;
+    std::lock_guard<std::mutex> lock(cell_->histogram->mu);
+    return cell_->histogram->sum;
   }
   [[nodiscard]] double percentile(double q) const {
-    return cell_ && cell_->histogram ? cell_->histogram->hist.percentile(q)
-                                     : 0.0;
+    if (!cell_ || !cell_->histogram) return 0.0;
+    std::lock_guard<std::mutex> lock(cell_->histogram->mu);
+    return cell_->histogram->hist.percentile(q);
   }
   [[nodiscard]] bool valid() const { return cell_ != nullptr; }
 

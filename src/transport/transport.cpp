@@ -92,7 +92,10 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
   }
 
   /// Abandon a message permanently; `result` names the telemetry counter.
-  void abandon(const std::shared_ptr<Msg>& m, const telemetry::Counter& which,
+  /// Takes the shared_ptr BY VALUE: callers pass the copy held inside the
+  /// `unacked` map node, which the erase below destroys — a reference would
+  /// dangle before the on_expire callback reads seq/payload through it.
+  void abandon(std::shared_ptr<Msg> m, const telemetry::Counter& which,
                std::uint64_t Counters::*slot) {
     m->cancelled = true;
     ++(counters.*slot);

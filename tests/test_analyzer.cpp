@@ -1,12 +1,17 @@
 // Unit tests of the Analyzer pipeline (§4.3) on synthetic probe records —
 // precise control over every classification branch.
+#include <sstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "core/analyzer.h"
 #include "core/controller.h"
+#include "core/ingest.h"
 #include "rnic/rnic.h"
 #include "routing/ecmp.h"
 #include "sim/scheduler.h"
+#include "telemetry/metrics.h"
 #include "topo/topology.h"
 
 namespace rpm::core {
@@ -493,7 +498,7 @@ TEST_F(AnalyzerTest, ShardedIngestMergesEveryHostsRecords) {
   // period report, independent of the shard count.
   for (std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
     AnalyzerConfig cfg;
-    cfg.ingest_shards = shards;
+    cfg.ingest.shards = shards;
     Analyzer a(topo_, ctrl_, sched_, cfg);
     std::size_t total = 0;
     std::uint64_t seq = 1;
@@ -506,7 +511,7 @@ TEST_F(AnalyzerTest, ShardedIngestMergesEveryHostsRecords) {
             make_record(h.rnics[0], h.rnics[1], ProbeStatus::kOk));
       }
       total += b.records.size();
-      a.ingest_batch(std::move(b));
+      a.sink().submit(std::move(b));
     }
     const PeriodReport& rep = a.analyze_now();
     EXPECT_EQ(rep.records_processed, total) << "shards=" << shards;
@@ -522,14 +527,14 @@ TEST_F(AnalyzerTest, DuplicateBatchesAreSuppressed) {
   b.records.push_back(make_record(RnicId{0}, RnicId{1}, ProbeStatus::kOk));
   b.records.push_back(make_record(RnicId{0}, RnicId{2}, ProbeStatus::kOk));
 
-  analyzer_.ingest_batch(UploadBatch(b));
-  analyzer_.ingest_batch(UploadBatch(b));  // retransmit duplicate
-  analyzer_.ingest_batch(UploadBatch(b));
+  analyzer_.sink().submit(UploadBatch(b));
+  analyzer_.sink().submit(UploadBatch(b));  // retransmit duplicate
+  analyzer_.sink().submit(UploadBatch(b));
 
   // A distinct sequence number from the same host is new data.
   UploadBatch b2 = b;
   b2.seq = 8;
-  analyzer_.ingest_batch(std::move(b2));
+  analyzer_.sink().submit(std::move(b2));
 
   const PeriodReport& rep = analyzer_.analyze_now();
   EXPECT_EQ(rep.records_processed, 4u);  // 2 + 2, duplicates dropped
@@ -537,7 +542,7 @@ TEST_F(AnalyzerTest, DuplicateBatchesAreSuppressed) {
 
 TEST_F(AnalyzerTest, StaleBatchBehindDedupWindowIsDropped) {
   AnalyzerConfig cfg;
-  cfg.dedup_window = 4;
+  cfg.ingest.dedup_window = 4;
   Analyzer a(topo_, ctrl_, sched_, cfg);
   auto batch = [&](std::uint64_t seq) {
     UploadBatch b;
@@ -546,10 +551,10 @@ TEST_F(AnalyzerTest, StaleBatchBehindDedupWindowIsDropped) {
     b.records.push_back(make_record(RnicId{0}, RnicId{1}, ProbeStatus::kOk));
     return b;
   };
-  a.ingest_batch(batch(100));
-  a.ingest_batch(batch(101));
+  a.sink().submit(batch(100));
+  a.sink().submit(batch(101));
   // Far behind the window: can only be an ancient retransmit.
-  a.ingest_batch(batch(10));
+  a.sink().submit(batch(10));
   const PeriodReport& rep = a.analyze_now();
   EXPECT_EQ(rep.records_processed, 2u);
 }
@@ -560,12 +565,12 @@ TEST_F(AnalyzerTest, DuplicateBatchStillProvesHostLiveness) {
   UploadBatch b;
   b.host = HostId{0};
   b.seq = 1;
-  analyzer_.ingest_batch(UploadBatch(b));
+  analyzer_.sink().submit(UploadBatch(b));
   sched_.run_until(sec(30));  // beyond the 20 s silence threshold
   for (const topo::HostInfo& h : topo_.hosts()) {
     if (h.id != HostId{0}) analyzer_.upload(h.id, {});
   }
-  analyzer_.ingest_batch(UploadBatch(b));  // duplicate, fresh timestamp
+  analyzer_.sink().submit(UploadBatch(b));  // duplicate, fresh timestamp
   const PeriodReport& rep = analyzer_.analyze_now();
   for (const auto& p : rep.problems) {
     EXPECT_FALSE(p.category == ProblemCategory::kHostDown &&
@@ -604,7 +609,7 @@ TEST_F(AnalyzerTest, RetriedBatchLeavesVoteTallyUnchanged) {
     Analyzer a(topo_, ctrl_, sched_);
     for (const topo::HostInfo& h : topo_.hosts()) a.upload(h.id, {});
     a.upload(HostId{0}, healthy);
-    for (int i = 0; i < deliveries; ++i) a.ingest_batch(UploadBatch(b));
+    for (int i = 0; i < deliveries; ++i) a.sink().submit(UploadBatch(b));
     const PeriodReport& rep = a.analyze_now();
     const Problem* sw = nullptr;
     for (const Problem& p : rep.problems) {
@@ -688,7 +693,7 @@ TEST_F(AnalyzerTest, SpillDrainedBatchesLeaveVoteTallyUnchanged) {
   Tally baseline;
   feed(in_order);
   for (const UploadBatch* b : {&b1, &b2, &b3, &b4}) {
-    in_order.ingest_batch(UploadBatch(*b));
+    in_order.sink().submit(UploadBatch(*b));
   }
   tally_period(in_order, baseline);
   EXPECT_EQ(baseline.records, 70u);
@@ -700,11 +705,11 @@ TEST_F(AnalyzerTest, SpillDrainedBatchesLeaveVoteTallyUnchanged) {
   Analyzer replay(topo_, ctrl_, sched_);
   Tally late;
   feed(replay);
-  replay.ingest_batch(UploadBatch(b1));
+  replay.sink().submit(UploadBatch(b1));
   tally_period(replay, late);
   feed(replay);
   for (const UploadBatch* b : {&b3, &b2, &b2, &b4}) {
-    replay.ingest_batch(UploadBatch(*b));
+    replay.sink().submit(UploadBatch(*b));
   }
   tally_period(replay, late);
 
@@ -719,6 +724,171 @@ TEST_F(AnalyzerTest, ConfigValidation) {
   EXPECT_THROW(Analyzer(topo_, ctrl_, sched_, bad), std::invalid_argument);
   EXPECT_THROW(analyzer_.register_service({ServiceId{1}, nullptr}),
                std::invalid_argument);
+
+  // IngestConfig::validate rejects nonsense instead of silently clamping.
+  AnalyzerConfig zero_shards;
+  zero_shards.ingest.shards = 0;
+  EXPECT_THROW(Analyzer(topo_, ctrl_, sched_, zero_shards),
+               std::invalid_argument);
+  AnalyzerConfig too_many_threads;
+  too_many_threads.ingest.shards = 2;
+  too_many_threads.ingest.threads = 3;
+  EXPECT_THROW(Analyzer(topo_, ctrl_, sched_, too_many_threads),
+               std::invalid_argument);
+  AnalyzerConfig no_queue;
+  no_queue.ingest.threads = 1;
+  no_queue.ingest.queue_capacity = 0;
+  EXPECT_THROW(Analyzer(topo_, ctrl_, sched_, no_queue),
+               std::invalid_argument);
+  AnalyzerConfig no_window;
+  no_window.ingest.dedup_window = 0;
+  EXPECT_THROW(Analyzer(topo_, ctrl_, sched_, no_window),
+               std::invalid_argument);
+
+  // A sane worker-pool config constructs (and joins its threads) cleanly.
+  AnalyzerConfig pool;
+  pool.ingest.threads = 2;
+  EXPECT_NO_THROW(Analyzer(topo_, ctrl_, sched_, pool));
+}
+
+TEST_F(AnalyzerTest, DeprecatedIngestBatchShimStillWorks) {
+  // ingest_batch is a deprecated forwarding shim (kept one release); the
+  // supported surface is sink().submit().
+  UploadBatch b;
+  b.host = HostId{0};
+  b.seq = 1;
+  b.records.push_back(make_record(RnicId{0}, RnicId{1}, ProbeStatus::kOk));
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  analyzer_.ingest_batch(std::move(b));
+#pragma GCC diagnostic pop
+  EXPECT_EQ(analyzer_.analyze_now().records_processed, 1u);
+}
+
+TEST_F(AnalyzerTest, WorkerPoolVerdictsMatchInlineForAnyThreadCount) {
+  // Determinism property (the tentpole's core guarantee): the same uploads
+  // produce byte-identical verdicts, SLA tables, and diagnosis JSON whether
+  // ingestion ran inline (threads = 0) or on a 1- or 4-thread worker pool.
+  // Per-shard FIFO queues + single-consumer shards + shard-index-order merge
+  // make the merged record vector identical to the inline path's.
+
+  // Build the scenario once; each run replays copies of the same batches.
+  std::vector<UploadBatch> batches;
+  std::uint64_t seq = 1;
+  for (const topo::HostInfo& h : topo_.hosts()) {  // liveness heartbeats
+    UploadBatch b;
+    b.host = h.id;
+    b.seq = seq++;
+    batches.push_back(std::move(b));
+  }
+  {
+    UploadBatch healthy;  // ToR-mesh background with denominators
+    healthy.host = HostId{0};
+    healthy.seq = seq++;
+    for (int i = 0; i < 30; ++i) {
+      healthy.records.push_back(
+          make_record(RnicId{4}, RnicId{8}, ProbeStatus::kOk,
+                      ProbeKind::kInterTor));
+    }
+    batches.push_back(std::move(healthy));
+  }
+  {
+    UploadBatch timeouts;  // a switch problem: common-path timeouts
+    timeouts.host = HostId{1};
+    timeouts.seq = seq++;
+    for (int i = 0; i < 10; ++i) {
+      timeouts.records.push_back(make_record(RnicId{2}, RnicId{12},
+                                             ProbeStatus::kTimeout,
+                                             ProbeKind::kInterTor));
+    }
+    batches.push_back(std::move(timeouts));
+  }
+  {
+    UploadBatch hot;  // congestion: sustained high RTT
+    hot.host = HostId{2};
+    hot.seq = seq++;
+    for (int i = 0; i < 8; ++i) {
+      ProbeRecord r = make_record(RnicId{5}, RnicId{9}, ProbeStatus::kOk,
+                                  ProbeKind::kInterTor);
+      r.network_rtt = msec(2);
+      hot.records.push_back(r);
+    }
+    batches.push_back(std::move(hot));
+  }
+
+  const auto digest = [&](std::size_t threads) {
+    AnalyzerConfig cfg;
+    cfg.ingest.threads = threads;
+    Analyzer a(topo_, ctrl_, sched_, cfg);
+    EXPECT_EQ(a.sink().num_threads(), threads);
+    for (const UploadBatch& b : batches) {
+      a.sink().submit(UploadBatch(b));
+      a.sink().submit(UploadBatch(b));  // at-least-once duplicate
+    }
+    const PeriodReport& rep = a.analyze_now();
+    std::ostringstream os;
+    os << rep.records_processed << '|' << rep.timeouts_switch << '|'
+       << rep.timeouts_rnic << '|' << rep.timeouts_host_down << '|'
+       << rep.cluster_sla.probes << '|' << rep.cluster_sla.timeouts << '|'
+       << rep.cluster_sla.rtt_p50 << '|' << rep.cluster_sla.rtt_p99 << '|'
+       << rep.cluster_sla.switch_drop_rate << '\n';
+    for (const Problem& p : rep.problems) {
+      os << static_cast<int>(p.category) << ':'
+         << static_cast<int>(p.priority) << ':' << p.summary;
+      for (LinkId l : p.suspect_links) os << ':' << l.value;
+      os << '\n';
+    }
+    os << obs::to_json(*a.last_diagnosis());
+    return os.str();
+  };
+
+  const std::string inline_digest = digest(0);
+  EXPECT_GT(inline_digest.size(), 100u);
+  EXPECT_EQ(digest(1), inline_digest);
+  EXPECT_EQ(digest(4), inline_digest);
+}
+
+TEST(IngestSinkTest, QueueFullDropsOldestAndCountsIt) {
+  // Bounded per-shard queues shed load by dropping the OLDEST queued batch,
+  // counted in rpm_analyzer_ingest_dropped_total. Workers are parked via the
+  // test hook so the overflow is deterministic.
+  IngestConfig cfg;
+  cfg.shards = 2;
+  cfg.threads = 2;
+  cfg.queue_capacity = 4;
+  auto sink = make_ingest_sink(cfg, {});
+  sink->stall_workers_for_test(true);
+
+  const double dropped_before =
+      telemetry::registry().snapshot().sum("rpm_analyzer_ingest_dropped_total");
+  for (std::uint64_t s = 1; s <= 10; ++s) {  // host 0 -> shard 0, capacity 4
+    UploadBatch b;
+    b.host = HostId{0};
+    b.seq = s;
+    ProbeRecord r;
+    r.id = s;
+    b.records.push_back(r);
+    sink->submit(std::move(b));
+  }
+  const double dropped_after =
+      telemetry::registry().snapshot().sum("rpm_analyzer_ingest_dropped_total");
+  EXPECT_DOUBLE_EQ(dropped_after - dropped_before, 6.0);
+
+  // Drain processes what survived: the four NEWEST batches, in order.
+  const std::vector<ProbeRecord> records = sink->drain_period();
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].id, 7u + i);
+  }
+
+  // Unstall + a fresh submit: the pool processes it normally again.
+  sink->stall_workers_for_test(false);
+  UploadBatch fresh;
+  fresh.host = HostId{0};
+  fresh.seq = 11;
+  fresh.records.emplace_back();
+  sink->submit(std::move(fresh));
+  EXPECT_EQ(sink->drain_period().size(), 1u);
 }
 
 }  // namespace

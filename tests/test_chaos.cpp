@@ -33,7 +33,7 @@ topo::ClosConfig clos_cfg() {
 /// A deployment with 5 s analysis periods so a 160 s campaign yields enough
 /// periods to score recovery.
 struct Deployment {
-  explicit Deployment(std::uint64_t seed = 7)
+  explicit Deployment(std::uint64_t seed = 7, std::size_t ingest_threads = 0)
       : cluster(topo::build_clos(clos_cfg()),
                 [seed] {
                   host::ClusterConfig c;
@@ -41,9 +41,10 @@ struct Deployment {
                   return c;
                 }()),
         rpm(cluster,
-            [] {
+            [ingest_threads] {
               core::RPingmeshConfig c;
               c.analyzer.period = sec(5);
+              c.analyzer.ingest.threads = ingest_threads;
               return c;
             }()),
         injector(cluster) {
@@ -168,6 +169,28 @@ TEST(Chaos, SameSeedYieldsByteIdenticalReports) {
     }
   }
   EXPECT_FALSE(first.empty());
+}
+
+TEST(Chaos, ReportBytesIdenticalForAnyIngestThreadCount) {
+  // The worker-pool ingestion backend must not leak thread scheduling into
+  // results: the same seed and plan yield byte-for-byte identical
+  // ChaosReport JSON for inline (0), 1-thread, and 4-thread ingestion.
+  // Per-shard FIFO + single-consumer shards + shard-order merge make the
+  // merged period records — and therefore every verdict — identical.
+  std::string inline_json;
+  for (const std::size_t threads :
+       {std::size_t{0}, std::size_t{1}, std::size_t{4}}) {
+    Deployment d(11, threads);
+    ChaosRunner runner(d.cluster, d.rpm, d.injector);
+    const std::string json =
+        runner.run(acceptance_plan(11, d.first_fabric_link())).to_json();
+    if (threads == 0) {
+      inline_json = json;
+    } else {
+      EXPECT_EQ(json, inline_json) << "ingest_threads=" << threads;
+    }
+  }
+  EXPECT_FALSE(inline_json.empty());
 }
 
 TEST(Chaos, StepNamesAndPlanValidation) {

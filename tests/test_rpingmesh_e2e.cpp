@@ -30,8 +30,8 @@ topo::ClosConfig clos_cfg() {
 }
 
 struct Deployment {
-  explicit Deployment(host::ClusterConfig cfg = {})
-      : cluster(topo::build_clos(clos_cfg()), cfg), rpm(cluster) {
+  explicit Deployment(host::ClusterConfig cfg = {}, RPingmeshConfig rcfg = {})
+      : cluster(topo::build_clos(clos_cfg()), cfg), rpm(cluster, rcfg) {
     rpm.start();
   }
   host::Cluster cluster;
@@ -68,6 +68,38 @@ TEST(RPingmeshE2E, HealthyClusterHasCleanSla) {
   for (const Problem& p : rep->problems) {
     EXPECT_EQ(p.priority, Priority::kNoise) << p.summary;
   }
+}
+
+TEST(RPingmeshE2E, WorkerPoolIngestionMatchesInlineEndToEnd) {
+  // Full-system determinism across ingest backends: a fixed-seed deployment
+  // must produce identical period reports and diagnosis JSON whether the
+  // Analyzer ingests inline or on a 1- or 4-thread worker pool. This is the
+  // e2e leg of the cross-thread-count determinism property (the transport
+  // hand-off, dedup of retried batches, and period bucketing all included);
+  // the chaos suite checks the same property on ChaosReport bytes.
+  const auto digest = [](std::size_t threads) {
+    RPingmeshConfig rcfg;
+    rcfg.analyzer.ingest.threads = threads;
+    host::ClusterConfig ccfg;
+    ccfg.seed = 42;
+    Deployment d(ccfg, rcfg);
+    d.cluster.run_for(sec(45));
+    const PeriodReport* rep = d.rpm.analyzer().last_report();
+    EXPECT_NE(rep, nullptr);
+    if (rep == nullptr) return std::string{};
+    std::ostringstream os;
+    os << rep->records_processed << '|' << rep->cluster_sla.probes << '|'
+       << rep->cluster_sla.timeouts << '|' << rep->cluster_sla.rtt_p50 << '|'
+       << rep->cluster_sla.rtt_p99 << '|' << rep->cluster_sla.proc_p99 << '|'
+       << rep->problems.size() << '\n';
+    os << obs::to_json(*d.rpm.analyzer().last_diagnosis());
+    return os.str();
+  };
+  const std::string inline_digest = digest(0);
+  ASSERT_FALSE(inline_digest.empty());
+  EXPECT_GT(inline_digest.find('|'), 0u);
+  EXPECT_EQ(digest(1), inline_digest);
+  EXPECT_EQ(digest(4), inline_digest);
 }
 
 TEST(RPingmeshE2E, MeasuredRttMatchesGroundTruthDespiteClockChaos) {
