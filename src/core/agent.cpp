@@ -49,6 +49,10 @@ Agent::Agent(host::Cluster& cluster, HostId host, const Controller& directory,
   metrics_.upload_records = reg.counter("rpm_agent_upload_records_total",
                                         "Probe records uploaded",
                                         {{"host", host_label}});
+  metrics_.upload_folded = reg.counter(
+      "rpm_agent_upload_folded_total",
+      "Healthy OK records folded into the batch HostSummary (sketch mode)",
+      {{"host", host_label}});
   metrics_.upload_requeues = reg.counter(
       "rpm_agent_upload_requeues_total",
       "Expired upload batches re-queued at the application layer",
@@ -692,8 +696,36 @@ void Agent::finalize_if_complete(std::uint64_t probe_id) {
     telemetry::tracer().async_end("probe", probe_kind_name(p.record.kind),
                                   probe_id);
   }
-  outbox_.push_back(std::move(p.record));
+  if (cfg_.sketch_thin_uploads && foldable(p.record)) {
+    fold_record(p.record);
+  } else {
+    outbox_.push_back(std::move(p.record));
+  }
   pending_.erase(it);
+}
+
+// Sketch-mode thinning: a healthy, unremarkable OK record carries no signal
+// the HostSummary cannot (per-pair ToR-mesh OK counts, responder-delay and
+// RTT sketches) — fold it. Everything the Analyzer's triage inspects record
+// by record stays raw: timeouts (never reach here), service-tracing probes
+// (per-service SLA + service attribution), hot-RTT / high-proc outliers, and
+// flight-sampled probes (their timeline would dangle without the record).
+bool Agent::foldable(const ProbeRecord& r) const {
+  return r.status == ProbeStatus::kOk &&
+         r.kind != ProbeKind::kServiceTracing && !r.flight_sampled &&
+         r.network_rtt <= cfg_.sketch_keep_rtt_above &&
+         r.responder_delay <= cfg_.sketch_keep_proc_above;
+}
+
+void Agent::fold_record(const ProbeRecord& r) {
+  ++summary_.folded_records;
+  if (r.kind == ProbeKind::kTorMesh) {
+    ++summary_.tormesh_ok[{r.prober.value, r.target.value}];
+  }
+  summary_.ok_delay_by_target[r.target.value].add(
+      static_cast<double>(r.responder_delay));
+  summary_.rtt.add(static_cast<double>(r.network_rtt));
+  metrics_.upload_folded.inc();
 }
 
 void Agent::finalize_timeout(std::uint64_t probe_id) {
@@ -714,7 +746,7 @@ void Agent::finalize_timeout(std::uint64_t probe_id) {
 
 void Agent::upload_now() {
   if (!running_ || host_down()) return;  // a down host uploads nothing
-  if (outbox_.empty()) return;
+  if (outbox_.empty() && summary_.empty()) return;
   ++periods_since_flush_;
   // Batched uploads (ROADMAP): coalesce several 5 s periods (and all RNICs)
   // into one sized batch instead of one small message per timer tick —
@@ -727,11 +759,16 @@ void Agent::upload_now() {
 }
 
 void Agent::flush_outbox() {
-  if (outbox_.empty()) return;
+  // Sketch mode can leave the outbox empty (everything folded) with a
+  // non-empty summary — that still has to flush, or the Analyzer reads the
+  // host as silent and its folded history never arrives.
+  if (outbox_.empty() && summary_.empty()) return;
   UploadBatch batch;
   batch.host = host_;
   batch.seq = next_batch_seq_++;
   batch.records.swap(outbox_);
+  batch.summary = std::move(summary_);
+  summary_ = sketch::HostSummary{};
   // Buffer reuse: pre-size the fresh outbox to what one coalesced batch
   // held, so steady state accumulates without re-growing from zero.
   outbox_.reserve(batch.records.size());
@@ -752,8 +789,11 @@ void Agent::send_batch(UploadBatch&& batch) {
     }
   }
   // send() transmits attempt #1 synchronously — before the binding below
-  // can exist — so the attempt is recorded by hand after binding.
-  const std::uint64_t chan_seq = upload_ch_.send(std::any(std::move(batch)));
+  // can exist — so the attempt is recorded by hand after binding. The wire
+  // size feeds the transport's bandwidth cost model and byte counters.
+  const Bytes wire = static_cast<Bytes>(upload_batch_wire_bytes(batch));
+  const std::uint64_t chan_seq =
+      upload_ch_.send(std::any(std::move(batch)), wire);
   if (!tracked.empty()) {
     auto& rec = obs::recorder();
     for (std::uint64_t pid : tracked) {
@@ -775,7 +815,11 @@ void Agent::on_upload_expired(std::uint64_t chan_seq, std::any& payload) {
   auto* batch = std::any_cast<UploadBatch>(&payload);
   // The payload is moved-from when the batch was delivered and later
   // abandoned (lost-ack race with backpressure) — nothing to retry then.
-  if (batch == nullptr || batch->records.empty()) return;
+  // (A summary-only sketch-mode batch has empty records but a non-empty
+  // summary, so both must be empty to read as moved-from.)
+  if (batch == nullptr || (batch->records.empty() && batch->summary.empty())) {
+    return;
+  }
   const auto drop_for_good = [&] {
     if (obs::recorder().enabled()) {
       for (const ProbeRecord& r : batch->records) {

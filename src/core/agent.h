@@ -85,6 +85,16 @@ struct AgentConfig {
   // parked in a bounded drop-oldest spill ring (ordered by seq) instead of
   // being dropped, and drain in order once an upload is ACKed again.
   std::size_t spill_ring_cap = 64;
+  // Sketch-mode upload thinning (set by RPingmesh when
+  // AnalyzerConfig::sketch_mode == kOn): healthy OK records are folded into
+  // a mergeable HostSummary instead of riding the batch raw. Records that
+  // carry diagnostic signal always stay raw: every timeout, every
+  // service-tracing probe, OK probes whose RTT / responder delay exceeds the
+  // keep thresholds below (they feed the Analyzer's outlier triage), and
+  // flight-sampled probes (their recorder timeline must stay resolvable).
+  bool sketch_thin_uploads = false;
+  TimeNs sketch_keep_rtt_above = usec(500);
+  TimeNs sketch_keep_proc_above = msec(5);
 };
 
 class Agent {
@@ -229,6 +239,8 @@ class Agent {
   void handle_probe(std::uint32_t slot, const rnic::Cqe& cqe, const Wire& w);
   void handle_ack(std::uint32_t slot, const rnic::Cqe& cqe, const Wire& w);
   void finalize_if_complete(std::uint64_t probe_id);
+  [[nodiscard]] bool foldable(const ProbeRecord& r) const;
+  void fold_record(const ProbeRecord& r);
   void finalize_timeout(std::uint64_t probe_id);
   PathCacheEntry& traced_paths(std::uint32_t slot, const PinglistEntry& e);
   void upload_now();
@@ -265,6 +277,9 @@ class Agent {
   std::vector<RnicState> rnics_;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::vector<ProbeRecord> outbox_;
+  // Sketch-mode thinning accumulator: healthy OK records folded since the
+  // last flush (empty, and never touched, when sketch_thin_uploads is off).
+  sketch::HostSummary summary_;
   std::uint64_t next_probe_id_;
   std::uint64_t next_wr_id_ = 1;
   std::uint64_t probes_sent_ = 0;
@@ -296,6 +311,7 @@ class Agent {
     telemetry::Counter responses_sent;
     telemetry::Counter uploads;
     telemetry::Counter upload_records;
+    telemetry::Counter upload_folded;   // records folded into HostSummary
     telemetry::Counter upload_requeues;
     // Control-plane survivability.
     telemetry::Counter lease_expired;       // leases lost to missed renewals

@@ -2,13 +2,45 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <sstream>
 
 #include "common/stats.h"
+#include "fabric/fabric.h"
 #include "obs/flight_recorder.h"
 #include "telemetry/trace.h"
 
 namespace rpm::core {
+
+namespace {
+
+// Sketch-mode adapter: a per-key delay statistic backed either by the exact
+// PercentileWindow (sketch_mode == kOff — byte-identical to the historical
+// path, the sketch member stays empty) or by a mergeable QuantileSketch
+// seeded from the Agents' folded summaries plus this period's raw outlier
+// records (kOn).
+struct DelayStat {
+  PercentileWindow win;
+  sketch::QuantileSketch sk;
+  bool use_sketch = false;
+
+  void add(double v) {
+    if (use_sketch) {
+      sk.add(v);
+    } else {
+      win.add(v);
+    }
+  }
+  // Non-const: PercentileWindow::percentile sorts its window lazily.
+  [[nodiscard]] std::size_t count() const {
+    return use_sketch ? static_cast<std::size_t>(sk.count()) : win.count();
+  }
+  [[nodiscard]] double percentile(double q) {
+    return use_sketch ? sk.quantile(q) : win.percentile(q);
+  }
+};
+
+}  // namespace
 
 const char* Analyzer::stage_name(int stage) {
   static constexpr const char* kNames[kNumStages] = {
@@ -64,6 +96,14 @@ Analyzer::Analyzer(const topo::Topology& topo, const Controller& controller,
         "rpm_analyzer_problem_priority_total", "Problems emitted by priority",
         {{"priority", priority_name(static_cast<Priority>(p))}});
   }
+  metrics_.raw_fallback_links = reg.counter(
+      "rpm_analyzer_raw_fallback_links_total",
+      "Links whose period sketch showed drops, keeping raw records in play");
+}
+
+void Analyzer::ingest_sketch(sketch::SketchReport&& rep) {
+  if (outage_) return;  // a blacked-out Analyzer hears nothing
+  sketch_store_.ingest(std::move(rep));
 }
 
 void Analyzer::register_service(ServiceBinding binding) {
@@ -208,6 +248,48 @@ SlaReport Analyzer::make_sla(
   return sla;
 }
 
+SlaReport Analyzer::make_sla_sketch(
+    const std::vector<const ProbeRecord*>& records,
+    const sketch::HostSummary& summary,
+    const std::unordered_set<std::uint64_t>& rnic_timeouts,
+    const std::unordered_set<std::uint64_t>& switch_timeouts) const {
+  // Sketch-mode cluster SLA: percentiles come from the merged quantile
+  // sketches (Agents' folded summaries + this period's raw records) instead
+  // of exact order statistics. Counts stay exact: every timeout rides the
+  // wire raw, and the folded healthy probes are tallied by folded_records.
+  SlaReport sla;
+  sketch::QuantileSketch rtt;
+  sketch::QuantileSketch proc;
+  rtt.merge(summary.rtt);
+  for (const auto& [rid, sk] : summary.ok_delay_by_target) proc.merge(sk);
+  for (const ProbeRecord* r : records) {
+    ++sla.probes;
+    if (r->status == ProbeStatus::kTimeout) {
+      ++sla.timeouts;
+      if (rnic_timeouts.contains(r->id)) sla.rnic_drop_rate += 1.0;
+      if (switch_timeouts.contains(r->id)) sla.switch_drop_rate += 1.0;
+    } else {
+      rtt.add(static_cast<double>(r->network_rtt));
+      proc.add(static_cast<double>(r->responder_delay));
+    }
+  }
+  sla.probes += summary.folded_records;
+  if (sla.probes > 0) {
+    sla.rnic_drop_rate /= static_cast<double>(sla.probes);
+    sla.switch_drop_rate /= static_cast<double>(sla.probes);
+  }
+  sla.rtt_mean = rtt.mean();
+  sla.rtt_p50 = rtt.quantile(0.50);
+  sla.rtt_p90 = rtt.quantile(0.90);
+  sla.rtt_p99 = rtt.quantile(0.99);
+  sla.rtt_p999 = rtt.quantile(0.999);
+  sla.proc_p50 = proc.quantile(0.50);
+  sla.proc_p90 = proc.quantile(0.90);
+  sla.proc_p99 = proc.quantile(0.99);
+  sla.proc_p999 = proc.quantile(0.999);
+  return sla;
+}
+
 const PeriodReport& Analyzer::analyze_now() {
   const TimeNs now = sched_.now();
   PeriodReport rep;
@@ -217,6 +299,16 @@ const PeriodReport& Analyzer::analyze_now() {
 
   std::vector<ProbeRecord> records = sink_->drain_period();
   rep.records_processed = records.size();
+
+  // Sketch mode (ROADMAP "Switch-side sketch summaries"): the Agents' folded
+  // healthy-probe summaries and the switches' per-link sketches feed the
+  // statistics below. Both drains are empty no-ops in kOff — the summary is
+  // drained unconditionally so a stray test summary can never leak across a
+  // mode flip.
+  const bool sk_on = cfg_.sketch_mode == SketchMode::kOn;
+  const sketch::HostSummary summary = sink_->drain_summary();
+  std::map<std::uint32_t, sketch::LinkSketch> link_sketches;
+  if (sk_on) link_sketches = sketch_store_.drain_period();
 
   // Diagnosis explainability (src/obs): every verdict this period gets an
   // EvidenceChain — input probe ids, thresholds compared, Algorithm 1 vote
@@ -340,6 +432,18 @@ const PeriodReport& Analyzer::analyze_now() {
         st.ok_responder_delay.add(static_cast<double>(r.responder_delay));
       }
     }
+    if (sk_on) {
+      // Folded ToR-mesh OK counts dilute timeout ratios exactly as their raw
+      // records would; pairs touching an already-blamed RNIC are discounted
+      // the same way the raw loop above discounts them.
+      for (const auto& [pair, cnt] : summary.tormesh_ok) {
+        if (anomalous_rnics.contains(pair.first) ||
+            anomalous_rnics.contains(pair.second)) {
+          continue;
+        }
+        per_rnic[pair.second].total += cnt;
+      }
+    }
     std::uint32_t worst = 0;
     double worst_frac = cfg_.rnic_timeout_threshold;
     bool found = false;
@@ -360,12 +464,22 @@ const PeriodReport& Analyzer::analyze_now() {
 
   // Responder-delay evidence per RNIC over ALL completed probes (the greedy
   // loop above excludes blamed RNICs from its stats, but the Fig. 6 filter
-  // below needs their delays).
-  std::unordered_map<std::uint32_t, PercentileWindow> ok_delay_by_rnic;
+  // below needs their delays). In sketch mode the stat is seeded from the
+  // Agents' folded per-target delay sketches, then raw outlier records merge
+  // in on top.
+  std::unordered_map<std::uint32_t, DelayStat> ok_delay_by_rnic;
+  if (sk_on) {
+    for (const auto& [rid, sk] : summary.ok_delay_by_target) {
+      DelayStat& st = ok_delay_by_rnic[rid];
+      st.use_sketch = true;
+      st.sk.merge(sk);
+    }
+  }
   for (const ProbeRecord& r : records) {
     if (r.status == ProbeStatus::kOk) {
-      ok_delay_by_rnic[r.target.value].add(
-          static_cast<double>(r.responder_delay));
+      auto [sit, inserted] = ok_delay_by_rnic.try_emplace(r.target.value);
+      if (inserted) sit->second.use_sketch = sk_on;
+      sit->second.add(static_cast<double>(r.responder_delay));
     }
   }
 
@@ -385,10 +499,10 @@ const PeriodReport& Analyzer::analyze_now() {
       bool starved_responder = false;
       if (auto sit = ok_delay_by_rnic.find(*it);
           sit != ok_delay_by_rnic.end()) {
-        auto& win = sit->second;
+        auto& st = sit->second;
         starved_responder =
-            win.count() > 0 &&
-            win.percentile(0.9) >
+            st.count() > 0 &&
+            st.percentile(0.9) >
                 static_cast<double>(cfg_.starve_delay_threshold);
       }
       if (multi_rnic_simultaneous || starved_responder) {
@@ -442,6 +556,33 @@ const PeriodReport& Analyzer::analyze_now() {
   std::vector<std::uint64_t> qpn_reset_ids;
   std::unordered_map<std::uint32_t, std::vector<std::uint64_t>> cpu_noise_ids;
   const bool flight_on = obs::recorder().enabled();
+  // Recorder-driven auto-triage: aggregate WHERE the evidence probes died
+  // from their sampled flight timelines, so an evidence chain cites the
+  // fabric's own drop sites next to the vote tally. A kFabricDrop event
+  // names the reason and link; a closed timeline without one means the probe
+  // timed out with no drop observed (lost to path-incompleteness, or the
+  // response leg). std::map keeps the aggregation order deterministic.
+  const auto fill_drop_sites = [&](obs::EvidenceChain& c,
+                                   const std::vector<const ProbeRecord*>&
+                                       ev) {
+    if (!flight_on) return;
+    std::map<std::string, std::uint64_t> sites;
+    for (const ProbeRecord* r : ev) {
+      if (!r->flight_sampled) continue;
+      const obs::ProbeTimeline* tl = obs::recorder().timeline(r->id);
+      if (tl == nullptr) continue;
+      if (const obs::TimelineEvent* e =
+              tl->find(obs::ProbeEventKind::kFabricDrop)) {
+        sites["fabric-drop:" +
+              std::string(fabric::drop_reason_name(
+                  static_cast<fabric::DropReason>(e->a))) +
+              "@link" + std::to_string(e->b)] += 1;
+      } else if (tl->closed()) {
+        sites["timed-out:no-fabric-drop-observed"] += 1;
+      }
+    }
+    for (auto& [site, cnt] : sites) c.drop_sites.emplace_back(site, cnt);
+  };
   for (std::size_t i = 0; i < records.size(); ++i) {
     if (!cause[i].has_value()) continue;
     const ProbeRecord& r = records[i];
@@ -532,6 +673,7 @@ const PeriodReport& Analyzer::analyze_now() {
                   static_cast<double>(cfg_.min_anomalies_for_problem),
                   static_cast<double>(rnic_evidence[r].size()));
     add_probes(c, rnic_evidence[r]);
+    fill_drop_sites(c, rnic_evidence[r]);
     attach_evidence(p, c);
     dlog.chains.push_back(std::move(c));
     rep.problems.push_back(std::move(p));
@@ -550,9 +692,9 @@ const PeriodReport& Analyzer::analyze_now() {
         "timeout-triage: Fig. 6 filter (multi-RNIC simultaneous timeouts "
         "or starved responder delays)";
     double worst_p90 = 0.0;
-    for (auto& [rid, win] : ok_delay_by_rnic) {
-      if (topo_.rnic(RnicId{rid}).host.value == h && win.count() > 0) {
-        worst_p90 = std::max(worst_p90, win.percentile(0.9));
+    for (auto& [rid, st] : ok_delay_by_rnic) {
+      if (topo_.rnic(RnicId{rid}).host.value == h && st.count() > 0) {
+        worst_p90 = std::max(worst_p90, st.percentile(0.9));
       }
     }
     add_threshold(c, "starve_delay_threshold_ns",
@@ -587,8 +729,20 @@ const PeriodReport& Analyzer::analyze_now() {
                   static_cast<double>(cfg_.min_anomalies_for_problem),
                   static_cast<double>(ev.size()));
     add_probes(c, ev);
+    fill_drop_sites(c, ev);
     vote_paths(ev, p.suspect_links, p.suspect_switches, &p.top_link_votes,
                &c);
+    if (sk_on && !p.suspect_links.empty()) {
+      // Corroborate the vote winner with the switch-side sketch: how many
+      // datagrams the fabric itself counted dropped on that link this
+      // period. Zero with votes present usually means the drops predate the
+      // period boundary (sketches flush on the 5 s cadence).
+      const auto lsit = link_sketches.find(p.suspect_links.front().value);
+      add_threshold(c, "sketch_link_drops", 0.0,
+                    lsit == link_sketches.end()
+                        ? 0.0
+                        : static_cast<double>(lsit->second.total_drops()));
+    }
     std::ostringstream os;
     os << "switch network problem (" << ev.size() << " anomalous probes"
        << (from_service ? ", service tracing" : ", cluster monitoring")
@@ -612,9 +766,19 @@ const PeriodReport& Analyzer::analyze_now() {
   std::vector<const ProbeRecord*> hot_cluster;
   std::unordered_map<std::uint32_t, std::vector<const ProbeRecord*>>
       hot_service;
-  std::unordered_map<std::uint32_t, PercentileWindow> host_proc_delay;
+  std::unordered_map<std::uint32_t, DelayStat> host_proc_delay;
   std::unordered_map<std::uint32_t, std::vector<std::uint64_t>>
       proc_probe_ids;  // every probe whose delay entered the host's window
+  if (sk_on) {
+    // Folded healthy delays roll up to the target's host so the CPU-overload
+    // tail scan sees the same population it would with raw records (the ids
+    // list stays raw-only — it is a capped evidence sample, not a tally).
+    for (const auto& [rid, sk] : summary.ok_delay_by_target) {
+      DelayStat& st = host_proc_delay[topo_.rnic(RnicId{rid}).host.value];
+      st.use_sketch = true;
+      st.sk.merge(sk);
+    }
+  }
   for (const ProbeRecord& r : records) {
     if (r.status != ProbeStatus::kOk) continue;
     if (r.network_rtt > cfg_.high_rtt_threshold) {
@@ -625,7 +789,9 @@ const PeriodReport& Analyzer::analyze_now() {
       }
     }
     const std::uint32_t th = topo_.rnic(r.target).host.value;
-    host_proc_delay[th].add(static_cast<double>(r.responder_delay));
+    auto [pit, inserted] = host_proc_delay.try_emplace(th);
+    if (inserted) pit->second.use_sketch = sk_on;
+    pit->second.add(static_cast<double>(r.responder_delay));
     proc_probe_ids[th].push_back(r.id);
   }
   const auto emit_hot = [&](std::vector<const ProbeRecord*>& ev,
@@ -666,28 +832,28 @@ const PeriodReport& Analyzer::analyze_now() {
   emit_hot(hot_cluster, false, ServiceId{});
   for (auto& [svc, ev] : hot_service) emit_hot(ev, true, ServiceId{svc});
 
-  for (auto& [h, win] : host_proc_delay) {
+  for (auto& [h, st] : host_proc_delay) {
     if (cpu_noise_hosts.contains(h)) continue;  // already reported as noise
     // Tail-based: an overloaded host shows in its P90 even when healthy
     // probes to its other RNICs dilute the median.
-    if (win.count() >= cfg_.min_anomalies_for_problem &&
-        win.percentile(0.9) >
+    if (st.count() >= cfg_.min_anomalies_for_problem &&
+        st.percentile(0.9) >
             static_cast<double>(cfg_.high_proc_delay_threshold)) {
       Problem p;
       p.category = ProblemCategory::kHighProcessingDelay;
       p.host = HostId{h};
-      p.anomalous_probes = win.count();
+      p.anomalous_probes = st.count();
       std::ostringstream os;
       os << "end-host bottleneck on " << topo_.host(HostId{h}).name
          << ": p90 processing delay "
-         << win.percentile(0.9) / 1e6 << " ms";
+         << st.percentile(0.9) / 1e6 << " ms";
       p.summary = os.str();
       obs::EvidenceChain c;
       c.verdict = "high-processing-delay";
       c.triage_branch = "bottleneck scan: responder processing delay P90";
       add_threshold(c, "high_proc_delay_threshold_ns",
                     static_cast<double>(cfg_.high_proc_delay_threshold),
-                    win.percentile(0.9));
+                    st.percentile(0.9));
       if (const auto idit = proc_probe_ids.find(h);
           idit != proc_probe_ids.end()) {
         for (std::uint64_t id : idit->second) add_probe(c, id);
@@ -730,8 +896,12 @@ const PeriodReport& Analyzer::analyze_now() {
       cluster_records.push_back(&r);
     }
   }
+  // Folded records never carry a service id, so service SLAs stay exact;
+  // the cluster SLA is sketch-driven when sketch mode is on.
   rep.cluster_sla =
-      make_sla(cluster_records, rnic_timeout_ids, switch_timeout_ids);
+      sk_on ? make_sla_sketch(cluster_records, summary, rnic_timeout_ids,
+                              switch_timeout_ids)
+            : make_sla(cluster_records, rnic_timeout_ids, switch_timeout_ids);
   for (auto& [svc, recs] : service_records) {
     rep.service_slas.emplace_back(
         ServiceId{svc}, make_sla(recs, rnic_timeout_ids, switch_timeout_ids));
@@ -881,6 +1051,17 @@ const PeriodReport& Analyzer::analyze_now() {
   for (const Problem& p : rep.problems) {
     metrics_.problems_by_category[static_cast<int>(p.category)].inc();
     metrics_.problems_by_priority[static_cast<int>(p.priority)].inc();
+  }
+  if (sk_on) {
+    // Links whose sketches show drops this period are the ones whose raw
+    // records the pipeline still wants verbatim (upload thinning keeps every
+    // timeout raw, so the fallback set is already satisfied — this counts
+    // how often it was needed).
+    std::uint64_t flagged = 0;
+    for (const auto& [lid, ls] : link_sketches) {
+      if (ls.total_drops() > 0) ++flagged;
+    }
+    metrics_.raw_fallback_links.inc(flagged);
   }
 
   history_.push_back(std::move(rep));

@@ -40,10 +40,28 @@
 #include "core/types.h"
 #include "obs/diagnosis.h"
 #include "sim/scheduler.h"
+#include "sketch/sketch.h"
 #include "telemetry/metrics.h"
 #include "topo/topology.h"
 
 namespace rpm::core {
+
+/// How the Analyzer sources its SLA tables and triage statistics (ROADMAP
+/// "Switch-side sketch summaries").
+///
+///   kOff  raw probe records only — byte-identical to the historical
+///         pipeline (the repo-wide same-seed guarantee holds against the
+///         pre-sketch baseline).
+///   kOn   Agents fold healthy OK records into mergeable HostSummary
+///         sketches and switches export per-link sketches; SLA percentiles
+///         and the Fig.-6 / bottleneck statistics are computed from the
+///         merged sketches, with raw records kept only for probes that
+///         carry diagnostic signal (timeouts, service tracing, outliers).
+///         Deterministically reproducible: same seed => byte-identical
+///         verdicts for any ingest thread count, but NOT byte-identical to
+///         kOff (percentiles come from sketch buckets, not exact order
+///         statistics).
+enum class SketchMode : std::uint8_t { kOff, kOn };
 
 struct AnalyzerConfig {
   TimeNs period = sec(20);                     // §5
@@ -64,6 +82,10 @@ struct AnalyzerConfig {
   // byte-identical verdicts for any thread count.
   using Ingest = IngestConfig;
   Ingest ingest{};
+  /// Sketch-driven analysis (see SketchMode above). RPingmesh propagates
+  /// this to its Agents (upload thinning) and wires the switch-side sketch
+  /// exporter only when kOn, so kOff leaves the whole schedule untouched.
+  SketchMode sketch_mode = SketchMode::kOff;
 };
 
 /// How the Analyzer watches a service's key performance metric (§4.3.4):
@@ -102,6 +124,17 @@ class Analyzer {
   /// benches plotting per-probe series). Not used by the analysis itself.
   void set_record_tap(std::function<void(const ProbeRecord&)> tap) {
     tap_ = std::move(tap);
+  }
+
+  /// Switch-side sketch ingestion (sketch_mode == kOn): SketchReports from
+  /// the fabric exporter land here, deduplicated by (exporter, seq) and
+  /// merged per link until the period drains them. Dropped during outage —
+  /// matching the record path, a blacked-out Analyzer hears nothing.
+  void ingest_sketch(sketch::SketchReport&& rep);
+
+  /// The sketch store (tests / diagnostics).
+  [[nodiscard]] const sketch::SketchStore& sketch_store() const {
+    return sketch_store_;
   }
 
   void register_service(ServiceBinding binding);
@@ -169,6 +202,11 @@ class Analyzer {
                      const std::unordered_set<std::uint64_t>& rnic_timeouts,
                      const std::unordered_set<std::uint64_t>& switch_timeouts)
       const;
+  SlaReport make_sla_sketch(
+      const std::vector<const ProbeRecord*>& records,
+      const sketch::HostSummary& summary,
+      const std::unordered_set<std::uint64_t>& rnic_timeouts,
+      const std::unordered_set<std::uint64_t>& switch_timeouts) const;
 
   const topo::Topology& topo_;
   const Controller& controller_;
@@ -185,6 +223,9 @@ class Analyzer {
   std::deque<obs::DiagnosisLog> diagnosis_;
   std::uint64_t next_evidence_id_ = 1;
   std::uint64_t next_problem_id_ = 1;
+  // Switch-side sketch reports accumulated since the last period drain
+  // (sketch_mode == kOn; idle otherwise).
+  sketch::SketchStore sketch_store_;
   TimeNs last_period_end_ = 0;
   bool outage_ = false;
   std::unique_ptr<sim::PeriodicTask> period_task_;
@@ -206,6 +247,9 @@ class Analyzer {
     telemetry::Counter timeouts_by_cause[5];    // indexed by AnomalyCause
     telemetry::Counter problems_by_category[7];  // indexed by ProblemCategory
     telemetry::Counter problems_by_priority[4];  // indexed by Priority
+    // Links whose period sketch showed drops — the links whose raw records
+    // the sketch pipeline still wants verbatim (sketch_mode == kOn only).
+    telemetry::Counter raw_fallback_links;
   };
   Metrics metrics_;
 };

@@ -143,6 +143,7 @@ class InlineSink final : public IngestSink {
       : cfg_(cfg),
         hooks_(std::move(hooks)),
         buckets_(cfg.shards),
+        summaries_(cfg.shards),
         metrics_(make_sink_metrics(cfg.shards, /*pool=*/false)) {}
 
   void submit(UploadBatch&& batch) override {
@@ -159,6 +160,12 @@ class InlineSink final : public IngestSink {
     metrics_.batches_accepted.inc();
     metrics_.uploads.inc();
     metrics_.records.inc(batch.records.size());
+    if (!batch.summary.empty()) {
+      // Per-shard accumulation (even though everything runs on one thread
+      // here) keeps the merge order identical to the worker-pool backend:
+      // within a shard by submission order, across shards by index.
+      summaries_[batch.host.value % buckets_.size()].merge(batch.summary);
+    }
     ingest(batch.host, std::move(batch.records));
   }
 
@@ -181,6 +188,15 @@ class InlineSink final : public IngestSink {
       merged.insert(merged.end(), std::make_move_iterator(bucket.begin()),
                     std::make_move_iterator(bucket.end()));
       bucket.clear();  // keeps capacity for the next period
+    }
+    return merged;
+  }
+
+  sketch::HostSummary drain_summary() override {
+    sketch::HostSummary merged;
+    for (sketch::HostSummary& s : summaries_) {
+      merged.merge(s);
+      s = sketch::HostSummary{};
     }
     return merged;
   }
@@ -211,6 +227,7 @@ class InlineSink final : public IngestSink {
   const IngestConfig cfg_;
   const IngestHooks hooks_;
   std::vector<std::vector<ProbeRecord>> buckets_;  // by prober host % N
+  std::vector<sketch::HostSummary> summaries_;     // parallel to buckets_
   std::unordered_map<std::uint32_t, DedupState> dedup_;  // by host id
   bool paused_ = false;
   SinkMetrics metrics_;
@@ -337,6 +354,20 @@ class WorkerPoolSink final : public IngestSink {
     return merged;
   }
 
+  sketch::HostSummary drain_summary() override {
+    // Sim thread, after drain_period()'s barrier: every shard is quiescent.
+    // Per-shard accumulation happened in submission order (single consumer,
+    // FIFO queue) and this merge runs in shard index order, so the merged
+    // summary — including its floating-point sums — is byte-identical to
+    // the inline backend's for any thread count.
+    sketch::HostSummary merged;
+    for (Shard& sh : shards_) {
+      merged.merge(sh.summary);
+      sh.summary = sketch::HostSummary{};
+    }
+    return merged;
+  }
+
   void set_paused(bool paused) override { paused_ = paused; }
   [[nodiscard]] std::size_t num_shards() const override {
     return shards_.size();
@@ -363,6 +394,7 @@ class WorkerPoolSink final : public IngestSink {
     // Touched only by the shard's single consumer (owning worker, or the
     // sim thread inside drain_period after the barrier / under stall):
     std::vector<ProbeRecord> bucket;
+    sketch::HostSummary summary;
     std::unordered_map<std::uint32_t, DedupState> dedup;  // by host id
     std::size_t worker = 0;
   };
@@ -436,6 +468,7 @@ class WorkerPoolSink final : public IngestSink {
     }
     metrics_.uploads.inc();
     metrics_.records.inc(item.batch.records.size());
+    if (!item.batch.summary.empty()) sh.summary.merge(item.batch.summary);
     append_records(sh.bucket, std::move(item.batch.records));
   }
 

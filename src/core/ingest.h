@@ -104,6 +104,15 @@ class IngestSink {
   /// buckets (capacity kept). Worker-pool backend: barrier first.
   [[nodiscard]] virtual std::vector<ProbeRecord> drain_period() = 0;
 
+  /// Merge and reset the per-shard HostSummary accumulation (sketch-mode
+  /// upload thinning). Call after drain_period() on the sim thread — the
+  /// pool backend relies on drain_period()'s barrier having run. Summaries
+  /// are merged per shard in submission order and across shards in shard
+  /// index order, so — like the record vector — the result is byte-identical
+  /// for any thread count. Empty whenever Agents ship no summaries
+  /// (sketch_mode == kOff).
+  [[nodiscard]] virtual sketch::HostSummary drain_summary() = 0;
+
   /// Analyzer outage: while paused, submit() drops on the floor.
   virtual void set_paused(bool paused) = 0;
 

@@ -11,6 +11,15 @@ RPingmesh::RPingmesh(host::Cluster& cluster, RPingmeshConfig cfg)
       analyzer_(cluster.topology(), controller_, cluster.scheduler(),
                 cfg.analyzer) {
   transport::ControlPlane& cp = cluster_.control_plane();
+  const bool sketch_on = cfg_.analyzer.sketch_mode == SketchMode::kOn;
+  if (sketch_on) {
+    // Propagate sketch mode to the Agents: fold healthy OK records into the
+    // batch HostSummary, keeping raw anything the Analyzer's outlier triage
+    // inspects record by record (thresholds mirror the Analyzer's own).
+    cfg_.agent.sketch_thin_uploads = true;
+    cfg_.agent.sketch_keep_rtt_above = cfg_.analyzer.high_rtt_threshold;
+    cfg_.agent.sketch_keep_proc_above = cfg_.analyzer.high_proc_delay_threshold;
+  }
   agents_.reserve(cluster_.num_hosts());
   for (const topo::HostInfo& h : cluster_.topology().hosts()) {
     const std::string suffix = "/h" + std::to_string(h.id.value);
@@ -47,7 +56,26 @@ RPingmesh::RPingmesh(host::Cluster& cluster, RPingmeshConfig cfg)
     upload_channels_.push_back(&up);
     rpc_channels_.push_back(&rpc);
     agents_.push_back(std::make_unique<Agent>(cluster_, h.id, controller_, up,
-                                              rpc, cfg.agent));
+                                              rpc, cfg_.agent));
+  }
+  if (sketch_on) {
+    // Switch-side sketches: the fabric updates one LinkSketch per link on
+    // every forwarded/dropped datagram; the exporter flushes the bank on the
+    // 5 s upload cadence through its own channel into the Analyzer's
+    // SketchStore.
+    sketch_bank_ = std::make_unique<sketch::LinkSketchBank>(
+        cluster_.topology().num_links());
+    cluster_.fabric().attach_sketches(sketch_bank_.get());
+    sketch_channel_ = &cp.make_channel(
+        "sketch/fabric", [this](std::uint64_t, std::any& payload) {
+          if (auto* rep = std::any_cast<sketch::SketchReport>(&payload)) {
+            analyzer_.ingest_sketch(std::move(*rep));
+          }
+        });
+    sketch::SketchExporterConfig ecfg;
+    ecfg.period = cfg_.agent.upload_interval;
+    sketch_exporter_ = std::make_unique<sketch::SketchExporter>(
+        cluster_.scheduler(), *sketch_channel_, *sketch_bank_, ecfg);
   }
 }
 
@@ -61,6 +89,9 @@ RPingmesh::~RPingmesh() {
     rpc->set_server(nullptr);
     rpc->cancel_pending();
   }
+  if (sketch_channel_ != nullptr) sketch_channel_->set_handler(nullptr);
+  // The fabric outlives this deployment too — detach the bank before it dies.
+  if (sketch_bank_) cluster_.fabric().attach_sketches(nullptr);
 }
 
 void RPingmesh::start() {
@@ -77,6 +108,7 @@ void RPingmesh::start() {
       });
   settle_task_->start(cfg_.control_settle_delay);
   analyzer_.start();
+  if (sketch_exporter_) sketch_exporter_->start();
   rotation_task_ = std::make_unique<sim::PeriodicTask>(
       cluster_.scheduler(), cfg_.tuple_rotation_interval,
       [this] { controller_.rotate_intertor_tuples(); });
@@ -104,11 +136,14 @@ void RPingmesh::begin_analyzer_outage() {
   if (analyzer_.in_outage()) return;
   analyzer_.set_outage(true);
   for (transport::Channel* ch : upload_channels_) ch->set_peer_down(true);
+  // Sketch reports head to the same dead process.
+  if (sketch_channel_ != nullptr) sketch_channel_->set_peer_down(true);
 }
 
 void RPingmesh::end_analyzer_outage() {
   if (!analyzer_.in_outage()) return;
   for (transport::Channel* ch : upload_channels_) ch->set_peer_down(false);
+  if (sketch_channel_ != nullptr) sketch_channel_->set_peer_down(false);
   // Order matters: set_outage(false) stamps "now" as every host's silence
   // epoch AFTER the channels can deliver again, so nothing slips between.
   analyzer_.set_outage(false);
@@ -118,6 +153,7 @@ void RPingmesh::stop() {
   if (!running_) return;
   running_ = false;
   for (auto& a : agents_) a->stop();
+  if (sketch_exporter_) sketch_exporter_->stop();
   analyzer_.stop();
   if (rotation_task_) rotation_task_->cancel();
   if (settle_task_) settle_task_->cancel();

@@ -10,6 +10,7 @@
 #include "core/analyzer.h"
 #include "core/controller.h"
 #include "host/cluster.h"
+#include "sketch/exporter.h"
 
 namespace rpm::core {
 
@@ -78,6 +79,15 @@ class RPingmesh {
   // these pointers let the destructor detach handlers that capture `this`.
   std::vector<transport::Channel*> upload_channels_;
   std::vector<transport::RpcChannel*> rpc_channels_;
+  // Switch-side sketch pipeline (AnalyzerConfig::sketch_mode == kOn only —
+  // kOff creates none of it, leaving the schedule byte-identical to the
+  // pre-sketch deployment). The bank is attached to the Cluster's fabric and
+  // must outlive that attachment; the exporter flushes it through
+  // "sketch/fabric" into Analyzer::ingest_sketch. Declared bank-first so the
+  // exporter (which drains the bank) is destroyed before it.
+  std::unique_ptr<sketch::LinkSketchBank> sketch_bank_;
+  transport::Channel* sketch_channel_ = nullptr;
+  std::unique_ptr<sketch::SketchExporter> sketch_exporter_;
   std::vector<std::unique_ptr<Agent>> agents_;
   std::unique_ptr<sim::PeriodicTask> rotation_task_;
   std::unique_ptr<sim::PeriodicTask> settle_task_;

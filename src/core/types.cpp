@@ -44,6 +44,22 @@ const char* priority_name(Priority p) {
   return "?";
 }
 
+std::size_t upload_batch_wire_bytes(const UploadBatch& b) {
+  // Header (host + seq + requeues + record count) ...
+  std::size_t n = 4 + 8 + 4 + 4;
+  for (const ProbeRecord& r : b.records) {
+    // ... plus each record's fixed fields (ids, tuple, timestamps, status)
+    // and 4 bytes per traced path element.
+    n += 96;
+    if (r.path_known) {
+      n += 4 * (r.fwd_path.links.size() + r.fwd_path.switches.size() +
+                r.rev_path.links.size() + r.rev_path.switches.size());
+    }
+  }
+  if (!b.summary.empty()) n += b.summary.serialized_bytes();
+  return n;
+}
+
 const char* problem_category_name(ProblemCategory c) {
   switch (c) {
     case ProblemCategory::kHostDown:

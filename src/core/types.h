@@ -9,6 +9,7 @@
 #include "common/five_tuple.h"
 #include "common/types.h"
 #include "routing/ecmp.h"
+#include "sketch/sketch.h"
 
 namespace rpm::core {
 
@@ -169,7 +170,16 @@ struct UploadBatch {
   /// wire like a retry header; the Analyzer ignores it — dedup is by seq).
   std::uint32_t requeues = 0;
   std::vector<ProbeRecord> records;
+  /// Sketch-mode upload thinning (AnalyzerConfig::sketch_mode == kOn): the
+  /// mergeable summary of the healthy probe records the Agent folded out of
+  /// `records` instead of shipping raw. Empty in sketch_mode == kOff.
+  sketch::HostSummary summary;
 };
+
+/// Estimated wire size of an upload batch for the transport bandwidth cost
+/// model: a fixed per-record cost plus the traced paths riding along, plus
+/// the folded summary's exact serialized size.
+[[nodiscard]] std::size_t upload_batch_wire_bytes(const UploadBatch& b);
 
 /// Agent -> Controller on (re)start: freshest comm info for every RNIC the
 /// Agent manages.

@@ -1,6 +1,7 @@
 #include "fabric/fabric.h"
 
 #include "obs/flight_recorder.h"
+#include "sketch/sketch.h"
 
 #include <algorithm>
 #include <cmath>
@@ -185,11 +186,17 @@ SendOutcome Fabric::send(const Datagram& dgram) {
   out.path = current_path(dgram.src, dgram.dst, dgram.tuple);
   // Flight-recorder hook: one compare against 0 on the untracked fast path.
   const bool traced = dgram.trace_id != 0 && obs::recorder().enabled();
-  const auto trace_drop = [&] {
+  // `sketch_link`: which link's sketch absorbs the drop — out.drop_link
+  // everywhere except ACL denies, which are charged to the link that carried
+  // the packet into the denying switch (out.drop_link stays unset there).
+  const auto trace_drop = [&](std::uint32_t sketch_link) {
     if (traced) {
       obs::recorder().record(dgram.trace_id, obs::ProbeEventKind::kFabricDrop,
                              static_cast<std::uint64_t>(out.drop),
                              out.drop_link.value);
+    }
+    if (sketches_ != nullptr) {
+      sketches_->on_drop(sketch_link, static_cast<std::uint8_t>(out.drop));
     }
   };
 
@@ -212,7 +219,7 @@ SendOutcome Fabric::send(const Datagram& dgram) {
     }
     links_[out.drop_link.value].drops_down++;
     count_drop(out.drop);
-    trace_drop();
+    trace_drop(out.drop_link.value);
     return out;
   }
 
@@ -236,7 +243,7 @@ SendOutcome Fabric::send(const Datagram& dgram) {
       out.drop_link = lid;
       s.drops_down++;
       count_drop(out.drop);
-      trace_drop();
+      trace_drop(out.drop_link.value);
       return out;
     }
     if (s.deadlocked && roce_class) {
@@ -244,7 +251,7 @@ SendOutcome Fabric::send(const Datagram& dgram) {
       out.drop_link = lid;
       s.drops_down++;
       count_drop(out.drop);
-      trace_drop();
+      trace_drop(out.drop_link.value);
       return out;
     }
     if (s.corrupt_prob > 0.0 && rng_.chance(s.corrupt_prob)) {
@@ -252,7 +259,7 @@ SendOutcome Fabric::send(const Datagram& dgram) {
       out.drop_link = lid;
       s.drops_corrupt++;
       count_drop(out.drop);
-      trace_drop();
+      trace_drop(out.drop_link.value);
       return out;
     }
     if (roce_class && s.overflow_drop_frac > 0.0 &&
@@ -261,15 +268,24 @@ SendOutcome Fabric::send(const Datagram& dgram) {
       out.drop_link = lid;
       s.drops_overflow++;
       count_drop(out.drop);
-      trace_drop();
+      trace_drop(out.drop_link.value);
       return out;
     }
 
     const double cap = effective_capacity(l, s);
     const TimeNs serialization =
         static_cast<TimeNs>(static_cast<double>(dgram.size) / cap * 1e9);
-    latency += l.propagation + serialization;
-    if (roce_class) latency += link_queue_delay(lid);
+    TimeNs hop_delay = l.propagation + serialization;
+    if (roce_class) hop_delay += link_queue_delay(lid);
+    latency += hop_delay;
+
+    if (sketches_ != nullptr) {
+      // This link's contribution to the datagram's one-way latency, plus
+      // its current queue depth and ECN marking odds (RoCE class only:
+      // the lossy queue neither marks nor backs up on RoCE congestion).
+      sketches_->on_forward(lid.value, dgram.size, hop_delay, s.queue_bytes,
+                            roce_class ? ecn_mark_prob(s) : 0.0);
+    }
 
     if (traced) {
       // Per-hop traversal: a = link id, b = cumulative one-way latency so
@@ -285,7 +301,7 @@ SendOutcome Fabric::send(const Datagram& dgram) {
         out.drop = DropReason::kAclDeny;
         out.drop_switch = sw;
         count_drop(out.drop);
-        trace_drop();
+        trace_drop(lid.value);
         return out;
       }
     }

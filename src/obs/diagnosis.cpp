@@ -108,7 +108,22 @@ std::string to_json(const EvidenceChain& c) {
     first = false;
     out += to_json(t);
   }
-  out += "],\"summary\":\"";
+  out += ']';
+  if (!c.drop_sites.empty()) {
+    // Optional: absent entirely when empty so recorder-off output is
+    // byte-identical to builds that predate auto-triage.
+    out += ",\"drop_sites\":[";
+    first = true;
+    for (const auto& [site, count] : c.drop_sites) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"site\":\"";
+      append_json_escaped(out, site);
+      out += "\",\"count\":" + std::to_string(count) + '}';
+    }
+    out += ']';
+  }
+  out += ",\"summary\":\"";
   append_json_escaped(out, c.summary);
   out += "\"}";
   return out;

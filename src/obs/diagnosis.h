@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -54,6 +55,12 @@ struct EvidenceChain {
   std::vector<VoteCount> link_votes;     // Algorithm 1, descending
   std::vector<VoteCount> switch_votes;   // Algorithm 1, descending
   std::vector<ThresholdCheck> thresholds;
+  /// Recorder-driven auto-triage: where the evidence probes actually died,
+  /// aggregated from their sampled flight timelines — e.g.
+  /// "fabric-drop:corrupted@link42" or "timed-out:no-fabric-drop-observed"
+  /// with a count each. Empty (and absent from the JSON) when the flight
+  /// recorder is disabled or no evidence probe was sampled.
+  std::vector<std::pair<std::string, std::uint64_t>> drop_sites;
   std::string summary;
 };
 

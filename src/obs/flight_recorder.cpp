@@ -31,6 +31,8 @@ const char* probe_event_name(ProbeEventKind k) {
     case ProbeEventKind::kReregistered: return "reregistered";
     case ProbeEventKind::kSpilled: return "spill-ring-enter";
     case ProbeEventKind::kSpillDrained: return "spill-ring-drain";
+    case ProbeEventKind::kSketchFlush: return "sketch-flush";
+    case ProbeEventKind::kSketchMerge: return "sketch-merge";
   }
   return "?";
 }

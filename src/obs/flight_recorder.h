@@ -66,6 +66,9 @@ enum class ProbeEventKind : std::uint8_t {
   kReregistered,     // Agent re-registered after a lost lease
   kSpilled,          // carrying batch parked in spill ring; a = batch seq
   kSpillDrained,     // batch left spill ring on reconnect; a = batch seq
+  kSketchFlush,      // link sketches flushed into a SketchReport;
+                     // a = report seq, b = links in the report
+  kSketchMerge,      // Analyzer merged a SketchReport; a = seq, b = links
 };
 
 const char* probe_event_name(ProbeEventKind k);

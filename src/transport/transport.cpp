@@ -29,6 +29,9 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
     m_expired = result_counter("expired");
     m_depth = reg.gauge("rpm_transport_queue_depth",
                         "Unacked in-flight messages", {{"channel", name}});
+    m_bytes = reg.counter("rpm_transport_bytes_total",
+                          "Declared wire bytes transmitted (per attempt)",
+                          {{"channel", name}});
     m_latency = reg.histogram("rpm_transport_delivery_latency_ns",
                               "send() to first delivery (includes retries)",
                               {{"channel", name}});
@@ -37,6 +40,7 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
   struct Msg {
     std::uint64_t seq = 0;
     std::any payload;
+    Bytes wire_bytes = 0;  // declared size for the bandwidth cost model
     TimeNs first_sent = 0;
     std::uint32_t attempts = 0;
     bool cancelled = false;  // abandoned: pending events become no-ops
@@ -57,11 +61,12 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
   std::uint64_t next_seq = 1;
   bool peer_is_down = false;
   std::uint64_t peer_epoch = 1;  // bumped on every down -> up transition
+  TimeNs busy_until = 0;  // sender link occupied serializing earlier messages
   // Ordered by seq so backpressure can evict the oldest unacked message.
   std::map<std::uint64_t, std::shared_ptr<Msg>> unacked;
 
   telemetry::Counter m_sent, m_delivered, m_duplicate, m_lost, m_retry,
-      m_dropped, m_expired;
+      m_dropped, m_expired, m_bytes;
   telemetry::Gauge m_depth;
   telemetry::Histogram m_latency;
 
@@ -112,6 +117,21 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
       m_retry.inc();
     }
     if (on_attempt) on_attempt(m->seq, m->attempts);
+    // Bandwidth cost: the bytes leave the NIC on every attempt whether or
+    // not the network delivers them, so count (and, with a configured link
+    // rate, serialize) before the loss lottery.
+    TimeNs ser_wait = 0;
+    if (m->wire_bytes > 0) {
+      counters.bytes_sent += static_cast<std::uint64_t>(m->wire_bytes);
+      m_bytes.inc(static_cast<std::uint64_t>(m->wire_bytes));
+      if (cfg.link_rate_Bps > 0.0) {
+        const auto ser = static_cast<TimeNs>(
+            static_cast<double>(m->wire_bytes) / cfg.link_rate_Bps * 1e9);
+        const TimeNs start = std::max(busy_until, sched.now());
+        busy_until = start + ser;
+        ser_wait = busy_until - sched.now();
+      }
+    }
     std::weak_ptr<Impl> weak = weak_from_this();
     if (peer_is_down) {
       // The peer process is gone: the bytes leave the NIC and die unread.
@@ -121,7 +141,7 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
       ++counters.lost;
       m_lost.inc();
     } else {
-      TimeNs lat = sample_latency();
+      TimeNs lat = ser_wait + sample_latency();
       if (cfg.reorder_prob > 0.0 && rng.chance(cfg.reorder_prob)) {
         lat += cfg.reorder_extra;
       }
@@ -195,6 +215,10 @@ Channel::Channel(sim::EventScheduler& sched, std::string name, Rng rng,
 Channel::~Channel() = default;
 
 std::uint64_t Channel::send(std::any payload) {
+  return send(std::move(payload), 0);
+}
+
+std::uint64_t Channel::send(std::any payload, Bytes wire_bytes) {
   Impl& im = *impl_;
   if (im.unacked.size() >= im.cfg.max_in_flight && !im.unacked.empty()) {
     im.abandon(im.unacked.begin()->second, im.m_dropped, &Counters::dropped);
@@ -202,6 +226,7 @@ std::uint64_t Channel::send(std::any payload) {
   auto m = std::make_shared<Impl::Msg>();
   m->seq = im.next_seq++;
   m->payload = std::move(payload);
+  m->wire_bytes = wire_bytes;
   m->first_sent = im.sched.now();
   im.unacked.emplace(m->seq, m);
   ++im.counters.sent;

@@ -33,6 +33,7 @@
 //                            retry|dropped|expired}
 //   rpm_transport_queue_depth{channel}        (unacked in-flight window)
 //   rpm_transport_delivery_latency_ns{channel} (send -> first delivery)
+//   rpm_transport_bytes_total{channel}        (declared wire bytes, per attempt)
 #pragma once
 
 #include <any>
@@ -67,6 +68,13 @@ struct ChannelConfig {
   // channel's own seeded Rng: channels that saw the same loss at the same
   // tick retry on different ticks (no thundering herd), deterministically.
   TimeNs retry_jitter = msec(5);
+  // Bandwidth/serialization cost model (ROADMAP "per-channel bandwidth
+  // cost"): when > 0, a message sent with a declared wire size occupies the
+  // sender's link for wire_bytes/link_rate_Bps before its propagation
+  // latency, and messages queue behind one another — large raw UploadBatches
+  // see proportionally later delivery than compact SketchReports. 0 keeps
+  // the historical size-blind behavior (byte-identical schedules).
+  double link_rate_Bps = 0.0;
 };
 
 /// Fault-injectable control-plane impairment, shared by every channel of a
@@ -116,6 +124,14 @@ class Channel {
   /// what a monitoring upload path wants under overload.
   std::uint64_t send(std::any payload);
 
+  /// As send(), declaring the message's wire size: every transmission
+  /// attempt adds `wire_bytes` to rpm_transport_bytes_total{channel}, and
+  /// when ChannelConfig::link_rate_Bps > 0 the attempt also waits for the
+  /// link to serialize those bytes (sequentially across queued messages)
+  /// before its propagation latency. wire_bytes == 0 behaves exactly like
+  /// the plain send().
+  std::uint64_t send(std::any payload, Bytes wire_bytes);
+
   /// Sender-side handler swap (nullptr detaches: messages still count as
   /// delivered but are discarded). The consumer calls this once at setup.
   void set_handler(HandlerFn handler);
@@ -157,6 +173,7 @@ class Channel {
     std::uint64_t retries = 0;     // retransmissions
     std::uint64_t dropped = 0;     // backpressure + cancel + app drops
     std::uint64_t expired = 0;     // gave up after max_attempts, undelivered
+    std::uint64_t bytes_sent = 0;  // declared wire bytes, per attempt
   };
   [[nodiscard]] const Counters& counters() const;
   [[nodiscard]] std::size_t in_flight() const;

@@ -33,7 +33,8 @@ topo::ClosConfig clos_cfg() {
 /// A deployment with 5 s analysis periods so a 160 s campaign yields enough
 /// periods to score recovery.
 struct Deployment {
-  explicit Deployment(std::uint64_t seed = 7, std::size_t ingest_threads = 0)
+  explicit Deployment(std::uint64_t seed = 7, std::size_t ingest_threads = 0,
+                      bool sketch_on = false)
       : cluster(topo::build_clos(clos_cfg()),
                 [seed] {
                   host::ClusterConfig c;
@@ -41,10 +42,12 @@ struct Deployment {
                   return c;
                 }()),
         rpm(cluster,
-            [ingest_threads] {
+            [ingest_threads, sketch_on] {
               core::RPingmeshConfig c;
               c.analyzer.period = sec(5);
               c.analyzer.ingest.threads = ingest_threads;
+              c.analyzer.sketch_mode = sketch_on ? core::SketchMode::kOn
+                                                 : core::SketchMode::kOff;
               return c;
             }()),
         injector(cluster) {
@@ -191,6 +194,55 @@ TEST(Chaos, ReportBytesIdenticalForAnyIngestThreadCount) {
     }
   }
   EXPECT_FALSE(inline_json.empty());
+}
+
+TEST(Chaos, SketchModeMatchesRawVerdictsOnChaosGroundTruth) {
+  // Sketch-driven analysis must not trade correctness for upload volume:
+  // on the acceptance campaign's ground truth, sketch_mode=on reaches the
+  // same precision/recall and the same per-fault matched flags as the raw
+  // pipeline (every timeout still rides the wire raw, so detection and
+  // localization see the same evidence).
+  const auto run_campaign = [](bool sketch_on) {
+    Deployment d(7, 0, sketch_on);
+    ChaosRunner runner(d.cluster, d.rpm, d.injector);
+    return runner.run(acceptance_plan(7, d.first_fabric_link()));
+  };
+  const ChaosReport off = run_campaign(false);
+  const ChaosReport on = run_campaign(true);
+
+  EXPECT_DOUBLE_EQ(on.precision, off.precision);
+  EXPECT_DOUBLE_EQ(on.recall, off.recall);
+  EXPECT_EQ(on.false_positives, off.false_positives);
+  EXPECT_EQ(on.switch_false_positives, off.switch_false_positives);
+  EXPECT_EQ(on.outage_false_positives, off.outage_false_positives);
+  EXPECT_EQ(on.mislocalized, off.mislocalized);
+  ASSERT_EQ(on.ground_truths.size(), off.ground_truths.size());
+  for (std::size_t i = 0; i < on.ground_truths.size(); ++i) {
+    EXPECT_EQ(on.ground_truths[i].label, off.ground_truths[i].label);
+    EXPECT_EQ(on.ground_truths[i].matched, off.ground_truths[i].matched)
+        << off.ground_truths[i].label;
+  }
+}
+
+TEST(Chaos, SketchModeReportBytesIdenticalAcrossRunsAndThreads) {
+  // sketch_mode=on must be deterministically reproducible: same seed =>
+  // byte-identical ChaosReport JSON across repeated runs and for any ingest
+  // thread count (the summary merge is per-shard in submission order, and
+  // the fixed-boundary sketches merge bucket-wise — no order sensitivity).
+  std::string first;
+  for (const std::size_t threads :
+       {std::size_t{0}, std::size_t{0}, std::size_t{4}}) {
+    Deployment d(11, threads, /*sketch_on=*/true);
+    ChaosRunner runner(d.cluster, d.rpm, d.injector);
+    const std::string json =
+        runner.run(acceptance_plan(11, d.first_fabric_link())).to_json();
+    if (first.empty()) {
+      first = json;
+    } else {
+      EXPECT_EQ(json, first) << "ingest_threads=" << threads;
+    }
+  }
+  EXPECT_FALSE(first.empty());
 }
 
 TEST(Chaos, StepNamesAndPlanValidation) {
