@@ -15,6 +15,8 @@ const char* chaos_step_name(ChaosStep::Kind k) {
     case ChaosStep::Kind::kAnalyzerOutageBegin: return "analyzer-outage-begin";
     case ChaosStep::Kind::kAnalyzerOutageEnd: return "analyzer-outage-end";
     case ChaosStep::Kind::kAgentRestart: return "agent-restart";
+    case ChaosStep::Kind::kPodAnalyzerCrash: return "pod-analyzer-crash";
+    case ChaosStep::Kind::kPodAnalyzerRestart: return "pod-analyzer-restart";
     case ChaosStep::Kind::kInject: return "inject";
     case ChaosStep::Kind::kClear: return "clear";
   }
@@ -56,6 +58,26 @@ ChaosPlan& ChaosPlan::agent_restart(TimeNs at, HostId host) {
   s.at = at;
   s.host = host;
   s.label = "agent-restart/h" + std::to_string(host.value);
+  steps.push_back(std::move(s));
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::pod_analyzer_crash(TimeNs at, std::size_t pod) {
+  ChaosStep s;
+  s.kind = ChaosStep::Kind::kPodAnalyzerCrash;
+  s.at = at;
+  s.pod = pod;
+  s.label = "pod-analyzer-crash/p" + std::to_string(pod);
+  steps.push_back(std::move(s));
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::pod_analyzer_restart(TimeNs at, std::size_t pod) {
+  ChaosStep s;
+  s.kind = ChaosStep::Kind::kPodAnalyzerRestart;
+  s.at = at;
+  s.pod = pod;
+  s.label = "pod-analyzer-restart/p" + std::to_string(pod);
   steps.push_back(std::move(s));
   return *this;
 }
@@ -154,6 +176,12 @@ ChaosReport ChaosRunner::run(const ChaosPlan& plan) {
         case ChaosStep::Kind::kAnalyzerOutageEnd:
           rpm_.end_analyzer_outage();
           return;
+        case ChaosStep::Kind::kPodAnalyzerCrash:
+          rpm_.crash_pod_analyzer(step.pod);
+          return;
+        case ChaosStep::Kind::kPodAnalyzerRestart:
+          rpm_.restart_pod_analyzer(step.pod);
+          return;
         case ChaosStep::Kind::kAgentRestart: {
           // Ground truth first (the injector only flags QPN resets; the
           // restart itself recreates the QPs), then the actual restart.
@@ -191,7 +219,7 @@ ChaosReport ChaosRunner::run(const ChaosPlan& plan) {
     });
   }
 
-  const std::size_t history_before = rpm_.analyzer().history().size();
+  const std::size_t history_before = rpm_.scored_history().size();
   cluster_.run_for(plan.duration);
 
   // ---- build outage windows from the plan ----
@@ -217,6 +245,18 @@ ChaosReport ChaosRunner::run(const ChaosPlan& plan) {
             {sp->at, first_after(ChaosStep::Kind::kAnalyzerOutageEnd, sp->at) +
                          plan.outage_grace});
         break;
+      case ChaosStep::Kind::kPodAnalyzerCrash: {
+        // Match the restart of the SAME pod (other pods keep analyzing).
+        TimeNs best = plan.duration;
+        for (const ChaosStep* rp : ordered) {
+          if (rp->kind == ChaosStep::Kind::kPodAnalyzerRestart &&
+              rp->pod == sp->pod && rp->at >= sp->at && rp->at < best) {
+            best = rp->at;
+          }
+        }
+        outage_windows.push_back({sp->at, best + plan.outage_grace});
+        break;
+      }
       case ChaosStep::Kind::kAgentRestart:
         restart_windows.push_back({sp->at, sp->at + plan.outage_grace});
         break;
@@ -231,7 +271,7 @@ ChaosReport ChaosRunner::run(const ChaosPlan& plan) {
   rep.seed = plan.seed;
   rep.duration = plan.duration;
 
-  const core::AnalyzerConfig& acfg = rpm_.analyzer().config();
+  const core::AnalyzerConfig& acfg = rpm_.analyzer_config();
   std::vector<bool> matched(truths->size(), false);
 
   // Kinds that are probe noise by design: reported, never recalled, and
@@ -268,7 +308,7 @@ ChaosReport ChaosRunner::run(const ChaosPlan& plan) {
     return false;
   };
 
-  const std::deque<core::PeriodReport>& history = rpm_.analyzer().history();
+  const std::deque<core::PeriodReport>& history = rpm_.scored_history();
   for (std::size_t pi = history_before; pi < history.size(); ++pi) {
     const core::PeriodReport& period = history[pi];
     const TimeNs period_end = period.period_end - t0;
@@ -422,6 +462,8 @@ ChaosReport ChaosRunner::run(const ChaosPlan& plan) {
       case ChaosStep::Kind::kControllerRestart:
       case ChaosStep::Kind::kAnalyzerOutageBegin:
       case ChaosStep::Kind::kAnalyzerOutageEnd:
+      case ChaosStep::Kind::kPodAnalyzerCrash:
+      case ChaosStep::Kind::kPodAnalyzerRestart:
         break;
       default:
         continue;

@@ -24,6 +24,7 @@
 // clock, no unordered-container iteration order leaks into the output.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -44,6 +45,8 @@ struct ChaosStep {
     kAnalyzerOutageBegin,
     kAnalyzerOutageEnd,
     kAgentRestart,  // inject_qpn_reset ground truth + Agent::restart()
+    kPodAnalyzerCrash,    // federated: crash pod `pod`'s Analyzer process
+    kPodAnalyzerRestart,  // federated: journal-restore pod `pod`'s Analyzer
     kInject,        // run `inject` against the FaultInjector
     kClear,         // clear the kInject step labeled `clear_ref`
   };
@@ -51,6 +54,7 @@ struct ChaosStep {
   TimeNs at = 0;
   std::string label;      // kInject: ground-truth key; others: display only
   HostId host;            // kAgentRestart
+  std::size_t pod = 0;    // kPodAnalyzerCrash / kPodAnalyzerRestart
   std::function<int(faults::FaultInjector&)> inject;  // kInject
   std::string clear_ref;  // kClear
 };
@@ -74,6 +78,8 @@ struct ChaosPlan {
   ChaosPlan& controller_restart(TimeNs at);
   ChaosPlan& analyzer_outage(TimeNs from, TimeNs to);
   ChaosPlan& agent_restart(TimeNs at, HostId host);
+  ChaosPlan& pod_analyzer_crash(TimeNs at, std::size_t pod);
+  ChaosPlan& pod_analyzer_restart(TimeNs at, std::size_t pod);
   ChaosPlan& inject(TimeNs at, std::string label,
                     std::function<int(faults::FaultInjector&)> fn);
   ChaosPlan& clear(TimeNs at, std::string label);

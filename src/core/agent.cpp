@@ -14,7 +14,7 @@ Agent::Agent(host::Cluster& cluster, HostId host, const Controller& directory,
              AgentConfig cfg)
     : cluster_(cluster),
       host_(host),
-      directory_(directory),
+      directory_(&directory),
       upload_ch_(upload_ch),
       ctrl_rpc_(ctrl_rpc),
       cfg_(cfg),
@@ -150,6 +150,9 @@ void Agent::register_with_controller() {
     // A crashed Controller answers accepted=false (if it answers at all);
     // the backoff probe below keeps retrying until one sticks.
     if (ack == nullptr || !ack->accepted) return;
+    if (ack->controller_epoch > ctrl_epoch_seen_) {
+      ctrl_epoch_seen_ = ack->controller_epoch;
+    }
     registered_ = true;
     reg_attempt_ = 0;
     lease_duration_ = ack->lease_duration;
@@ -213,6 +216,9 @@ void Agent::heartbeat_tick() {
     if (!running_ || epoch != epoch_ || !registered_) return;
     const auto* ack = std::any_cast<HeartbeatAck>(&rsp);
     if (ack == nullptr) return;
+    if (ack->controller_epoch > ctrl_epoch_seen_) {
+      ctrl_epoch_seen_ = ack->controller_epoch;
+    }
     if (ack->known) {
       lease_expiry_ = cluster_.scheduler().now() + lease_duration_;
     } else {
@@ -361,9 +367,34 @@ void Agent::refresh_pinglists() {
   ctrl_rpc_.call(std::any(std::move(req)), [this, epoch](std::any& rsp) {
     if (!running_ || epoch != epoch_) return;
     if (auto* r = std::any_cast<PinglistPullResponse>(&rsp)) {
-      apply_pinglist_response(std::move(*r));
+      deliver_pinglist_response(std::move(*r));
     }
   });
+}
+
+void Agent::deliver_pinglist_response(PinglistPullResponse rsp) {
+  // Fence: a deposed primary's responses can still drain off the wire
+  // after a failover. Epoch 0 (responses predating the epoch stamp, or
+  // tests) and a fence that never armed both pass — the fence only trips
+  // once a NEWER epoch has actually been heard.
+  if (rsp.controller_epoch != 0 && ctrl_epoch_seen_ != 0 &&
+      rsp.controller_epoch < ctrl_epoch_seen_) {
+    ++stale_pinglists_;
+    if (!stale_metric_registered_) {
+      stale_metric_registered_ = true;
+      stale_pinglists_total_ = telemetry::registry().counter(
+          "rpm_agent_stale_pinglists_total",
+          "Pinglist responses rejected by the Controller-epoch fence",
+          {{"host", std::to_string(host_.value)}});
+    }
+    stale_pinglists_total_.inc();
+    telemetry::tracer().instant("agent-stale-pinglist", "control");
+    return;
+  }
+  if (rsp.controller_epoch > ctrl_epoch_seen_) {
+    ctrl_epoch_seen_ = rsp.controller_epoch;
+  }
+  apply_pinglist_response(std::move(rsp));
 }
 
 void Agent::apply_pinglist_response(PinglistPullResponse rsp) {
@@ -957,7 +988,7 @@ void Agent::on_service_connect(const verbs::ModifyQpEvent& e) {
     // be defensive about other monitors). The lookup hits the host-local
     // registry replica synchronously; the tracepoint path cannot wait for a
     // control-plane round trip.
-    const auto info = directory_.comm_info_by_ip(e.tuple.dst_ip);
+    const auto info = directory_->comm_info_by_ip(e.tuple.dst_ip);
     if (!info) {
       log_warn() << "agent(" << host_.value
                  << "): no comm info for service target ip";

@@ -130,6 +130,26 @@ class Agent {
   /// applies asynchronously after a control-plane round trip.
   void refresh_pinglists();
 
+  /// Epoch-fenced application of a pinglist pull response. A response
+  /// stamped with an epoch OLDER than the newest this Agent has heard (via
+  /// registration/heartbeat acks or a fresher pull) is a stale list from a
+  /// deposed primary still draining its wire — counted and discarded, never
+  /// applied. Public so tests can inject doctored responses.
+  void deliver_pinglist_response(PinglistPullResponse rsp);
+
+  /// Pinglist responses rejected by the epoch fence (lifetime count).
+  [[nodiscard]] std::uint64_t stale_pinglists() const {
+    return stale_pinglists_;
+  }
+  /// Newest Controller epoch heard on any ack or pull response.
+  [[nodiscard]] std::uint64_t controller_epoch_seen() const {
+    return ctrl_epoch_seen_;
+  }
+
+  /// Retarget the comm-info directory after a standby Controller takeover
+  /// (production: the read replica re-syncs against the new primary).
+  void set_directory(const Controller* directory) { directory_ = directory; }
+
   /// Number of service-tracing entries currently tracked (all RNICs).
   [[nodiscard]] std::size_t service_entries() const;
 
@@ -250,7 +270,7 @@ class Agent {
 
   host::Cluster& cluster_;
   HostId host_;
-  const Controller& directory_;
+  const Controller* directory_;  // retargeted on standby failover
   transport::Channel& upload_ch_;
   transport::RpcChannel& ctrl_rpc_;
   AgentConfig cfg_;
@@ -268,6 +288,14 @@ class Agent {
   TimeNs lease_duration_ = 0;       // as granted in the RegistrationAck
   std::uint32_t reg_attempt_ = 0;   // consecutive unanswered registrations
   bool rereg_pending_ = false;      // current registration follows a lost lease
+  // Epoch fencing (ControllerGroup failover): newest Controller epoch heard
+  // and how many pinglist responses the fence rejected. The metric series
+  // registers lazily on the first rejection so flat deployments (where the
+  // fence never trips) add no telemetry output.
+  std::uint64_t ctrl_epoch_seen_ = 0;
+  std::uint64_t stale_pinglists_ = 0;
+  telemetry::Counter stale_pinglists_total_;
+  bool stale_metric_registered_ = false;
   std::uint64_t lease_expiries_ = 0;
   std::uint64_t reregistrations_ = 0;
   // Analyzer-outage spill ring: fully-retried batches, ascending seq.

@@ -1,4 +1,4 @@
-// R-Pingmesh Analyzer (§4.3, §5).
+// R-Pingmesh Analyzer (§4.3, §5) — the deployment facade over AnalysisCore.
 //
 // Every `period` (20 s in production) the Analyzer processes all records
 // Agents uploaded during the period:
@@ -26,74 +26,30 @@
 //     P50..P999) for the cluster and for each service network.
 //  6. Assess service impact (§4.3.4): P0 / P1 / P2 per problem, and the
 //     "network innocent" verdict when a degraded service shows no P0/P1.
+//
+// The pipeline itself lives in AnalysisCore (core/analysis_core.h); this
+// class owns what a *deployment* of the pipeline needs — the IngestSink, the
+// periodic schedule, outage/crash handling, and journal checkpointing — and
+// is the role the federation tier wraps per pod (core/federation.h).
 #pragma once
 
 #include <deque>
 #include <functional>
-#include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "core/analysis_core.h"
 #include "core/controller.h"
 #include "core/ingest.h"
+#include "core/journal.h"
 #include "core/types.h"
 #include "obs/diagnosis.h"
 #include "sim/scheduler.h"
 #include "sketch/sketch.h"
-#include "telemetry/metrics.h"
 #include "topo/topology.h"
 
 namespace rpm::core {
-
-/// How the Analyzer sources its SLA tables and triage statistics (ROADMAP
-/// "Switch-side sketch summaries").
-///
-///   kOff  raw probe records only — byte-identical to the historical
-///         pipeline (the repo-wide same-seed guarantee holds against the
-///         pre-sketch baseline).
-///   kOn   Agents fold healthy OK records into mergeable HostSummary
-///         sketches and switches export per-link sketches; SLA percentiles
-///         and the Fig.-6 / bottleneck statistics are computed from the
-///         merged sketches, with raw records kept only for probes that
-///         carry diagnostic signal (timeouts, service tracing, outliers).
-///         Deterministically reproducible: same seed => byte-identical
-///         verdicts for any ingest thread count, but NOT byte-identical to
-///         kOff (percentiles come from sketch buckets, not exact order
-///         statistics).
-enum class SketchMode : std::uint8_t { kOff, kOn };
-
-struct AnalyzerConfig {
-  TimeNs period = sec(20);                     // §5
-  double rnic_timeout_threshold = 0.10;        // §5: >10% ToR-mesh timeouts
-  TimeNs rnic_blame_window = sec(60);          // §5: blame RNIC for 1 min
-  TimeNs host_silence_threshold = sec(20);     // §5: no upload for 20 s
-  std::size_t min_anomalies_for_problem = 3;   // evidence floor
-  TimeNs high_rtt_threshold = usec(500);       // congestion flag
-  TimeNs high_proc_delay_threshold = msec(5);  // CPU-overload flag
-  TimeNs starve_delay_threshold = msec(100);   // Fig. 6 responder-delay test
-  double degradation_threshold = 0.5;          // metric below => severe (P0)
-  bool enable_cpu_noise_filters = true;        // Fig. 6 improvements
-  std::size_t history_limit = 512;
-  // Ingestion runtime knobs (sharding, worker threads, queue bounds, batch
-  // dedup window) — see IngestConfig in core/ingest.h. Validated (throws on
-  // nonsense) at Analyzer construction. ingest.threads = 0 keeps the
-  // historical inline single-threaded path; > 0 runs a worker pool with
-  // byte-identical verdicts for any thread count.
-  using Ingest = IngestConfig;
-  Ingest ingest{};
-  /// Sketch-driven analysis (see SketchMode above). RPingmesh propagates
-  /// this to its Agents (upload thinning) and wires the switch-side sketch
-  /// exporter only when kOn, so kOff leaves the whole schedule untouched.
-  SketchMode sketch_mode = SketchMode::kOff;
-};
-
-/// How the Analyzer watches a service's key performance metric (§4.3.4):
-/// `metric` returns the current relative performance in [0,1].
-struct ServiceBinding {
-  ServiceId id;
-  std::function<double()> metric;
-};
 
 class Analyzer {
  public:
@@ -107,11 +63,6 @@ class Analyzer {
   /// convenience below. The sink owns sharding, duplicate suppression, and
   /// — with config().ingest.threads > 0 — the worker pool (core/ingest.h).
   [[nodiscard]] IngestSink& sink() { return *sink_; }
-
-  /// DEPRECATED shim, kept for one release: forwards to sink().submit().
-  /// New code ingests through the IngestSink interface.
-  [[deprecated("ingest via Analyzer::sink().submit() instead")]]
-  void ingest_batch(UploadBatch batch) { sink_->submit(std::move(batch)); }
 
   /// Trusted local ingestion (tests, benches, co-located producers): no
   /// duplicate suppression, no batch seq — records go straight to a shard.
@@ -134,10 +85,12 @@ class Analyzer {
 
   /// The sketch store (tests / diagnostics).
   [[nodiscard]] const sketch::SketchStore& sketch_store() const {
-    return sketch_store_;
+    return core_->sketch_store();
   }
 
-  void register_service(ServiceBinding binding);
+  void register_service(ServiceBinding binding) {
+    core_->register_service(std::move(binding));
+  }
 
   /// Begin periodic analysis.
   void start();
@@ -155,103 +108,119 @@ class Analyzer {
   const PeriodReport& analyze_now();
 
   [[nodiscard]] const std::deque<PeriodReport>& history() const {
-    return history_;
+    return core_->history();
   }
   [[nodiscard]] const PeriodReport* last_report() const {
-    return history_.empty() ? nullptr : &history_.back();
+    return core_->last_report();
   }
 
   /// §4.3.4: true when the last period shows no P0/P1 problem affecting
   /// this service — the network is innocent of the service's woes.
-  [[nodiscard]] bool network_innocent(ServiceId service) const;
+  [[nodiscard]] bool network_innocent(ServiceId service) const {
+    return core_->network_innocent(service);
+  }
 
   // ---- diagnosis explainability (src/obs) ----
 
   /// Render the evidence chain behind a Problem as structured JSON: input
   /// probe ids, Algorithm 1 vote tally, thresholds compared, triage branch.
-  /// Searches newest-first; empty string when the id is unknown (or its
-  /// period aged out of the history window).
-  [[nodiscard]] std::string explain(std::uint64_t problem_id) const;
+  /// Searches newest-first; empty string when the id is unknown (with a
+  /// journal attached, aged-out periods are searched in its archive too).
+  [[nodiscard]] std::string explain(std::uint64_t problem_id) const {
+    return core_->explain(problem_id);
+  }
 
   /// Resolve an EvidenceRef (Problem::evidence, SlaReport::evidence).
-  [[nodiscard]] const obs::EvidenceChain* evidence(EvidenceRef ref) const;
+  [[nodiscard]] const obs::EvidenceChain* evidence(EvidenceRef ref) const {
+    return core_->evidence(ref);
+  }
 
   [[nodiscard]] const obs::DiagnosisLog* last_diagnosis() const {
-    return diagnosis_.empty() ? nullptr : &diagnosis_.back();
+    return core_->last_diagnosis();
   }
   [[nodiscard]] const std::deque<obs::DiagnosisLog>& diagnosis_history()
       const {
-    return diagnosis_;
+    return core_->diagnosis_history();
   }
 
-  [[nodiscard]] const AnalyzerConfig& config() const { return cfg_; }
+  [[nodiscard]] const AnalyzerConfig& config() const {
+    return core_->config();
+  }
+
+  // ---- federation hooks (core/federation.h) ----
+
+  /// Retarget QPN-reset triage at a different Controller (standby failover).
+  void set_directory(const Controller* directory) {
+    core_->set_directory(directory);
+  }
+
+  /// Restrict cause attribution to `scratch->local_hosts` and export
+  /// digest material per period (see FederationScratch). Null restores the
+  /// flat pipeline.
+  void set_federation_scratch(FederationScratch* scratch) { fed_ = scratch; }
+
+  /// Invoked after every completed period with the report and its
+  /// DiagnosisLog — the PodAnalyzer builds and sends its digest here.
+  void set_period_hook(
+      std::function<void(const PeriodReport&, const obs::DiagnosisLog&)>
+          hook) {
+    period_hook_ = std::move(hook);
+  }
+
+  /// Direct pipeline access (federation roles, tests).
+  [[nodiscard]] AnalysisCore& core() { return *core_; }
+  [[nodiscard]] const AnalysisCore& core() const { return *core_; }
+
+  // ---- persistence (core::StateJournal) ----
+
+  /// Checkpoint after every period under `role`, spill aged-out
+  /// DiagnosisLogs into the journal archive, and allow
+  /// restore_from_journal() after a crash.
+  void attach_journal(StateJournal* journal, std::string role);
+
+  /// Lets the owner stamp extra fields (e.g. the PodAnalyzer's digest_seq)
+  /// into every saved checkpoint.
+  void set_checkpoint_hook(std::function<void(AnalyzerCheckpoint&)> hook) {
+    checkpoint_hook_ = std::move(hook);
+  }
+
+  /// Process crash: volatile pipeline state is lost, ingestion stops (the
+  /// sink is rebuilt empty and paused). Journaled state survives for
+  /// restore_from_journal().
+  void crash();
+
+  /// Restart after crash(): reload the journaled checkpoint — (host, seq)
+  /// dedup windows, period boundary, id counters, liveness clocks — so
+  /// drained history is never re-counted. Returns false when no checkpoint
+  /// was ever saved (cold start: the Analyzer still leaves the outage, with
+  /// fresh state). Upload silence across the downtime is forgiven either
+  /// way.
+  bool restore_from_journal();
 
  private:
-  struct Evidence {
-    std::vector<const ProbeRecord*> records;
-  };
-
-  void vote_paths(const std::vector<const ProbeRecord*>& records,
-                  std::vector<LinkId>& out_links,
-                  std::vector<SwitchId>& out_switches,
-                  std::vector<std::pair<LinkId, std::size_t>>* top_votes =
-                      nullptr,
-                  obs::EvidenceChain* chain = nullptr) const;
-  void assess_impact(PeriodReport& report) const;
-  SlaReport make_sla(const std::vector<const ProbeRecord*>& records,
-                     const std::unordered_set<std::uint64_t>& rnic_timeouts,
-                     const std::unordered_set<std::uint64_t>& switch_timeouts)
-      const;
-  SlaReport make_sla_sketch(
-      const std::vector<const ProbeRecord*>& records,
-      const sketch::HostSummary& summary,
-      const std::unordered_set<std::uint64_t>& rnic_timeouts,
-      const std::unordered_set<std::uint64_t>& switch_timeouts) const;
+  std::unique_ptr<IngestSink> make_sink();
+  void save_checkpoint();
 
   const topo::Topology& topo_;
-  const Controller& controller_;
   sim::EventScheduler& sched_;
-  AnalyzerConfig cfg_;
+  // Copy of cfg.ingest so a crashed sink can be rebuilt (and because the
+  // sink is constructed before the core that owns the full config).
+  IngestConfig ingest_cfg_;
 
   std::function<void(const ProbeRecord&)> tap_;
-  std::unordered_map<std::uint32_t, TimeNs> last_upload_;  // by host id
-  std::unordered_set<std::uint32_t> known_hosts_;
-  std::unordered_map<std::uint32_t, TimeNs> rnic_blamed_until_;
-  std::vector<ServiceBinding> services_;
-  std::deque<PeriodReport> history_;
-  // One DiagnosisLog per period, trimmed in lockstep with history_.
-  std::deque<obs::DiagnosisLog> diagnosis_;
-  std::uint64_t next_evidence_id_ = 1;
-  std::uint64_t next_problem_id_ = 1;
-  // Switch-side sketch reports accumulated since the last period drain
-  // (sketch_mode == kOn; idle otherwise).
-  sketch::SketchStore sketch_store_;
-  TimeNs last_period_end_ = 0;
+  std::function<void(const PeriodReport&, const obs::DiagnosisLog&)>
+      period_hook_;
+  std::function<void(AnalyzerCheckpoint&)> checkpoint_hook_;
+  FederationScratch* fed_ = nullptr;
+  StateJournal* journal_ = nullptr;
+  std::string role_ = "analyzer";
   bool outage_ = false;
+  std::unique_ptr<AnalysisCore> core_;
   std::unique_ptr<sim::PeriodicTask> period_task_;
-  // Declared after the state its hooks touch (tap_, last_upload_,
-  // known_hosts_): destroyed first, joining any worker threads before the
-  // members they could reach go away.
+  // Declared after the state its hooks touch (tap_, the core's liveness
+  // maps): destroyed first, joining any worker threads before the members
+  // they could reach go away.
   std::unique_ptr<IngestSink> sink_;
-
-  // Self-observability: the 20 s pipeline is the Analyzer's hot path; each
-  // stage's wall-clock cost is tracked so future sharding/batching PRs can
-  // show where the time goes.
-  static constexpr int kNumStages = 7;
-  static const char* stage_name(int stage);
-  // Ingest-side series (uploads, records, batches by dedup outcome, bucket
-  // sizes, queue depth/drops) are owned by the IngestSink.
-  struct Metrics {
-    telemetry::Counter periods;
-    telemetry::Histogram stage_ns[kNumStages];
-    telemetry::Counter timeouts_by_cause[5];    // indexed by AnomalyCause
-    telemetry::Counter problems_by_category[7];  // indexed by ProblemCategory
-    telemetry::Counter problems_by_priority[4];  // indexed by Priority
-    // Links whose period sketch showed drops — the links whose raw records
-    // the sketch pipeline still wants verbatim (sketch_mode == kOn only).
-    telemetry::Counter raw_fallback_links;
-  };
-  Metrics metrics_;
 };
 
 }  // namespace rpm::core

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/flight_recorder.h"
 #include "telemetry/trace.h"
 
 namespace rpm::core {
@@ -136,6 +137,19 @@ void Controller::restart() {
   down_ = false;
   ++epoch_;
   telemetry::tracer().instant("controller-restart", "control");
+}
+
+void Controller::promote(std::uint64_t new_epoch) {
+  // restart()'s known=false contract, with an assigned epoch: clear the
+  // registry even though a warm standby's is already empty (promote() must
+  // also work on a member that once served as primary), come up, and fence
+  // everything the deposed primary might still emit.
+  registry_.clear();
+  registered_hosts_.clear();
+  metrics_.registered_agents.set(0.0);
+  down_ = false;
+  epoch_ = new_epoch;
+  telemetry::tracer().instant("controller-promote", "control");
 }
 
 std::optional<RnicCommInfo> Controller::comm_info(RnicId rnic) const {
@@ -297,7 +311,83 @@ PinglistPullResponse serve_pinglist_pull(const Controller& controller,
   for (RnicId r : req.comm_targets) {
     if (const auto info = controller.comm_info(r)) rsp.comm.push_back(*info);
   }
+  rsp.controller_epoch = controller.epoch();
   return rsp;
+}
+
+ControllerGroup::ControllerGroup(const topo::Topology& topo,
+                                 const routing::EcmpRouter& router,
+                                 sim::EventScheduler& sched,
+                                 ControllerConfig ccfg, Config cfg)
+    : sched_(sched), cfg_(cfg) {
+  members_.push_back(std::make_unique<Controller>(topo, router, ccfg));
+  if (cfg_.standby) {
+    // Same config => identical Equation-1 plans and pinglists; the standby
+    // differs only in registry content (empty until promoted) and epoch.
+    members_.push_back(std::make_unique<Controller>(topo, router, ccfg));
+  }
+  crashed_.assign(members_.size(), false);
+  if (cfg_.standby) {
+    // Metric series exist only in replicated deployments so a flat run's
+    // telemetry output is byte-identical to the pre-group code.
+    auto& reg = telemetry::registry();
+    epoch_gauge_ = reg.gauge("rpm_controller_epoch",
+                             "Epoch of the active Controller");
+    failovers_total_ = reg.counter("rpm_controller_failovers_total",
+                                   "Standby promotions performed");
+    epoch_gauge_.set(static_cast<double>(active().epoch()));
+    monitor_ = std::make_unique<sim::PeriodicTask>(
+        sched_, cfg_.check_interval, [this] { check_failover(); });
+    monitor_->start(cfg_.check_interval);
+  }
+}
+
+void ControllerGroup::crash_active() {
+  if (crashed_[active_]) return;
+  members_[active_]->crash();
+  crashed_[active_] = true;
+  crash_time_ = sched_.now();
+}
+
+void ControllerGroup::restart_crashed() {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (!crashed_[i]) continue;
+    members_[i]->restart();
+    crashed_[i] = false;
+  }
+}
+
+void ControllerGroup::check_failover() {
+  if (!crashed_[active_]) return;
+  if (sched_.now() < crash_time_ + cfg_.failover_delay) return;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (crashed_[i]) continue;
+    // New epoch dominates every epoch any member ever stamped, including
+    // the deposed primary's — responses it left in flight are fenced out.
+    std::uint64_t max_epoch = 0;
+    for (const auto& m : members_) {
+      max_epoch = std::max(max_epoch, m->epoch());
+    }
+    members_[i]->promote(max_epoch + 1);
+    active_ = i;
+    ++failovers_;
+    epoch_gauge_.set(static_cast<double>(max_epoch + 1));
+    failovers_total_.inc();
+    telemetry::tracer().instant("controller-failover", "control");
+    obs::FlightRecorder& fr = obs::recorder();
+    if (fr.enabled()) {
+      // Failovers get a flight-recorder timeline too (trace ids far above
+      // the probe id space), so a dump shows WHEN the standby took over
+      // between the probe/digest events it explains.
+      const std::uint64_t trace = (1ull << 60) | failovers_;
+      if (fr.begin_probe(trace, "controller-failover",
+                         static_cast<std::uint64_t>(sched_.now()))) {
+        fr.record(trace, obs::ProbeEventKind::kFailover, max_epoch + 1, i);
+      }
+    }
+    if (on_failover_) on_failover_(*members_[i]);
+    return;
+  }
 }
 
 }  // namespace rpm::core

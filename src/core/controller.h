@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -23,6 +25,7 @@
 #include "common/rng.h"
 #include "core/types.h"
 #include "routing/ecmp.h"
+#include "sim/scheduler.h"
 #include "telemetry/metrics.h"
 #include "topo/topology.h"
 
@@ -74,6 +77,14 @@ class Controller {
   /// The process comes back — with an empty registry and a new epoch; every
   /// Agent must re-register.
   void restart();
+  /// Standby takeover (ControllerGroup): become primary under `new_epoch`.
+  /// Reuses restart()'s known=false contract — the registry is cleared so
+  /// every Agent is forced through re-registration; the new primary never
+  /// trusts comm info it did not collect itself. Unlike restart(), the
+  /// member need not be down (a warm standby never was), and the epoch is
+  /// assigned (it must dominate every epoch the cluster has ever seen, not
+  /// just this member's).
+  void promote(std::uint64_t new_epoch);
   [[nodiscard]] bool is_down() const { return down_; }
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
   [[nodiscard]] std::size_t num_registered_agents() const {
@@ -150,5 +161,85 @@ class Controller {
 /// at-least-once request delivery.
 [[nodiscard]] PinglistPullResponse serve_pinglist_pull(
     const Controller& controller, const PinglistPullRequest& req);
+
+/// Replicated control plane (ROADMAP "Hierarchical federation"): one primary
+/// Controller plus an optional warm standby with lease-transfer failover.
+///
+/// Both members are built from the same config, so their Equation-1 plans
+/// and pinglists are identical — what a standby can NEVER inherit is the
+/// registry (comm info is only fresh if an Agent sent it to YOU), which is
+/// why promotion reuses the restart() contract: empty registry, known=false
+/// heartbeats, every Agent re-registers with the new primary using its
+/// normal backoff machinery.
+///
+/// Epoch fencing: the promoted member's epoch is max over every member's
+/// epoch + 1, strictly greater than anything the deposed primary ever
+/// stamped. Agents track the newest epoch heard and discard pinglist
+/// responses fenced below it (PinglistPullResponse::controller_epoch).
+///
+/// With `standby == false` the group is a passthrough holding exactly one
+/// Controller and schedules nothing — byte-identical to the pre-group
+/// deployment.
+class ControllerGroup {
+ public:
+  struct Config {
+    bool standby = false;
+    /// Cadence of the failover monitor (standby only).
+    TimeNs check_interval = msec(500);
+    /// Grace between primary crash and takeover — the lease-transfer
+    /// window; sub-second flaps never fail over.
+    TimeNs failover_delay = sec(2);
+  };
+
+  ControllerGroup(const topo::Topology& topo,
+                  const routing::EcmpRouter& router,
+                  sim::EventScheduler& sched, ControllerConfig ccfg)
+      : ControllerGroup(topo, router, sched, std::move(ccfg), Config{}) {}
+  ControllerGroup(const topo::Topology& topo,
+                  const routing::EcmpRouter& router,
+                  sim::EventScheduler& sched, ControllerConfig ccfg,
+                  Config cfg);
+
+  [[nodiscard]] Controller& active() { return *members_[active_]; }
+  [[nodiscard]] const Controller& active() const { return *members_[active_]; }
+  [[nodiscard]] std::size_t active_index() const { return active_; }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] Controller& member(std::size_t i) { return *members_[i]; }
+  [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+
+  /// Crash the current primary. With a standby, the monitor promotes it
+  /// after `failover_delay`; without one, the group waits for
+  /// restart_crashed().
+  void crash_active();
+  /// Restart every crashed member via Controller::restart(). A member the
+  /// monitor already replaced comes back as the warm standby for the NEXT
+  /// failover; if the crashed member is still active (no standby, or the
+  /// delay has not elapsed), this is exactly the old single-Controller
+  /// restart path.
+  void restart_crashed();
+
+  /// Invoked right after a standby is promoted (epoch already bumped) so
+  /// the deployment can retarget RPC servers and directory pointers.
+  void set_on_failover(std::function<void(Controller&)> hook) {
+    on_failover_ = std::move(hook);
+  }
+
+ private:
+  void check_failover();
+
+  sim::EventScheduler& sched_;
+  Config cfg_;
+  std::vector<std::unique_ptr<Controller>> members_;
+  std::vector<bool> crashed_;
+  std::size_t active_ = 0;
+  TimeNs crash_time_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::function<void(Controller&)> on_failover_;
+  std::unique_ptr<sim::PeriodicTask> monitor_;
+  // Registered only when the standby is enabled, so a flat deployment adds
+  // no metric series.
+  telemetry::Gauge epoch_gauge_;
+  telemetry::Counter failovers_total_;
+};
 
 }  // namespace rpm::core

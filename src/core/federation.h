@@ -1,0 +1,196 @@
+// Hierarchical federation (ROADMAP): per-pod Analyzers + a global merge
+// tier.
+//
+// At datacenter scale one Analyzer cannot hold every pod's record stream.
+// The federation splits the §4.3 pipeline by pod:
+//
+//   PodAnalyzer     a full Analyzer (IngestSink + AnalysisCore) scoped to
+//                   the hosts of one pod. It triages locally — host-down,
+//                   QPN reset, anomalous RNICs, Algorithm-1 voting over its
+//                   own evidence — and once per period emits ONE compact
+//                   PodDigest over a transport::Channel: problems, evidence
+//                   chains, mergeable SLA sketches, service networks, and
+//                   the foreign timeouts it could not triage (the target
+//                   host lives in another pod, so "down" vs "switch drop"
+//                   is unknowable locally).
+//
+//   GlobalAnalyzer  consumes PodDigests (deduplicated per pod by seq, the
+//                   same window machinery the IngestSink uses per host),
+//                   and once per period — offset after the pods fire, so
+//                   digests have a control-plane flight's head start —
+//                   merges them: union of down-host / blamed-RNIC sets,
+//                   triage + Algorithm-1 voting of the deferred foreign
+//                   timeouts, cross-pod merge of same-category problems by
+//                   suspect-link overlap, cluster/service SLA tables from
+//                   the mergeable digests, and the §4.3.4 P0/P1/P2 impact
+//                   pass against the union service networks.
+//
+// Wire volume is the point: a PodDigest costs O(problems + sketches), not
+// O(records). bench_federation measures the ratio.
+//
+// Determinism: same seed => byte-identical verdicts for a given pod count
+// (thread-count invariant); pods = 1 keeps the flat deployment, which is
+// byte-identical to the pre-federation pipeline.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/digest.h"
+#include "core/ingest.h"
+#include "core/journal.h"
+#include "sim/scheduler.h"
+#include "telemetry/metrics.h"
+#include "topo/topology.h"
+#include "transport/transport.h"
+
+namespace rpm::core {
+
+/// One pod's Analyzer: the flat Analyzer plus federation scoping and the
+/// per-period digest flush. Owns its role's journal checkpoints under
+/// "pod<N>".
+class PodAnalyzer {
+ public:
+  PodAnalyzer(const topo::Topology& topo, const Controller& controller,
+              sim::EventScheduler& sched, AnalyzerConfig cfg,
+              std::uint32_t pod, std::vector<HostId> hosts);
+
+  /// Where digests go (wire bytes accounted via pod_digest_wire_bytes).
+  /// Unset: digests are built and counted but not sent (tests).
+  void set_digest_channel(transport::Channel* ch) { channel_ = ch; }
+
+  [[nodiscard]] Analyzer& analyzer() { return analyzer_; }
+  [[nodiscard]] const Analyzer& analyzer() const { return analyzer_; }
+  [[nodiscard]] std::uint32_t pod() const { return pod_; }
+  [[nodiscard]] const std::vector<HostId>& hosts() const { return hosts_; }
+  [[nodiscard]] std::uint64_t digests_sent() const { return seq_; }
+  [[nodiscard]] std::size_t digest_bytes_sent() const { return bytes_sent_; }
+
+  void start() { analyzer_.start(); }
+  void stop() { analyzer_.stop(); }
+
+  /// Journal under role "pod<N>": checkpoints carry the digest seq so a
+  /// restarted pod never reuses (and never skips) a sequence number.
+  void attach_journal(StateJournal* journal);
+
+  /// Process crash / journal-restore (see Analyzer::crash). The digest seq
+  /// reloads from the checkpoint; with no checkpoint it restarts at 0 —
+  /// the GlobalAnalyzer's dedup window tolerates the replay.
+  void crash();
+  bool restart_from_journal();
+
+ private:
+  void on_period(const PeriodReport& rep, const obs::DiagnosisLog& dlog);
+
+  std::uint32_t pod_;
+  std::vector<HostId> hosts_;
+  std::string role_;
+  Analyzer analyzer_;
+  FederationScratch scratch_;
+  transport::Channel* channel_ = nullptr;
+  StateJournal* journal_ = nullptr;
+  std::uint64_t seq_ = 0;  // digests emitted; journaled across crashes
+  std::size_t bytes_sent_ = 0;
+  telemetry::Counter digests_total_;
+  telemetry::Counter digest_bytes_total_;
+};
+
+/// The global merge tier. NOT an AnalysisCore: it never sees a ProbeRecord,
+/// only digests — but it emits the same PeriodReport/DiagnosisLog shapes,
+/// so ChaosRunner and the examples score it exactly like a flat Analyzer.
+class GlobalAnalyzer {
+ public:
+  struct Config {
+    /// Thresholds + period reused from the pod pipeline (period must match
+    /// the pods' so every merge tick sees one digest per live pod).
+    AnalyzerConfig analyzer{};
+    /// Merge ticks fire this far after the pods' period boundary, giving
+    /// digests a control-plane flight's head start.
+    TimeNs merge_offset = msec(500);
+    /// Per-pod digest seq dedup window (retries/duplicates).
+    std::uint64_t digest_dedup_window = 64;
+  };
+
+  GlobalAnalyzer(const topo::Topology& topo, sim::EventScheduler& sched,
+                 Config cfg);
+
+  /// Digest arrival (transport handler). Deduplicated per pod by seq;
+  /// buffered until the next merge tick. Dropped during outage.
+  void ingest_digest(PodDigest&& d);
+
+  void register_service(ServiceBinding binding);
+
+  void start();
+  void stop();
+
+  /// Outage lifecycle, mirroring Analyzer's: nothing ingested, no merge
+  /// ticks; recovery restarts the period boundary at `now`.
+  void set_outage(bool outage);
+  [[nodiscard]] bool in_outage() const { return outage_; }
+
+  /// Run one merge over every digest buffered since the previous tick.
+  const PeriodReport& merge_now();
+
+  [[nodiscard]] const std::deque<PeriodReport>& history() const {
+    return history_;
+  }
+  [[nodiscard]] const PeriodReport* last_report() const {
+    return history_.empty() ? nullptr : &history_.back();
+  }
+  [[nodiscard]] bool network_innocent(ServiceId service) const;
+  [[nodiscard]] std::string explain(std::uint64_t problem_id) const;
+  [[nodiscard]] const obs::EvidenceChain* evidence(EvidenceRef ref) const;
+  [[nodiscard]] const obs::DiagnosisLog* last_diagnosis() const {
+    return diagnosis_.empty() ? nullptr : &diagnosis_.back();
+  }
+  [[nodiscard]] const std::deque<obs::DiagnosisLog>& diagnosis_history()
+      const {
+    return diagnosis_;
+  }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t merges() const { return merges_; }
+  [[nodiscard]] std::uint64_t duplicate_digests() const {
+    return duplicate_digests_;
+  }
+
+  /// Journal under role "global": checkpoints hold the per-pod digest dedup
+  /// windows + period boundary + id counters; aged-out DiagnosisLogs spill
+  /// into the archive.
+  void attach_journal(StateJournal* journal);
+  void crash();
+  bool restart_from_journal();
+
+ private:
+  void save_checkpoint();
+  /// Algorithm-1 voting over foreign-timeout paths (the global counterpart
+  /// of AnalysisCore::vote_paths).
+  void vote_foreign(const std::vector<const ForeignTimeout*>& evidence,
+                    Problem& p, obs::EvidenceChain& c) const;
+
+  const topo::Topology& topo_;
+  sim::EventScheduler& sched_;
+  Config cfg_;
+
+  std::vector<PodDigest> pending_;
+  std::unordered_map<std::uint32_t, DedupState> digest_dedup_;  // by pod
+  std::vector<ServiceBinding> services_;
+  std::deque<PeriodReport> history_;
+  std::deque<obs::DiagnosisLog> diagnosis_;
+  std::uint64_t next_evidence_id_ = 1;
+  std::uint64_t next_problem_id_ = 1;
+  TimeNs last_period_end_ = 0;
+  std::uint64_t merges_ = 0;
+  std::uint64_t duplicate_digests_ = 0;
+  bool outage_ = false;
+  StateJournal* journal_ = nullptr;
+  std::unique_ptr<sim::PeriodicTask> merge_task_;
+  telemetry::Counter merges_total_;
+  telemetry::Counter digests_merged_total_;
+};
+
+}  // namespace rpm::core

@@ -38,16 +38,6 @@ void IngestConfig::validate() const {
   }
 }
 
-namespace {
-
-/// Per-host sliding-window batch-seq memory (shared by both backends; with
-/// the pool a host's state lives in its shard, touched only by the shard's
-/// single consumer).
-struct DedupState {
-  std::uint64_t max_seq = 0;
-  std::unordered_set<std::uint64_t> seen;
-};
-
 /// True when (host, seq) is a first delivery inside the window; records the
 /// seq and slides the window forward.
 bool dedup_accept(DedupState& st, std::uint64_t seq, std::uint64_t window) {
@@ -67,6 +57,39 @@ bool dedup_accept(DedupState& st, std::uint64_t seq, std::uint64_t window) {
     }
   }
   return true;
+}
+
+namespace {
+
+/// Fold one host->DedupState map into a checkpoint under construction.
+/// Callers sort cp.hosts afterwards (hosts are disjoint across shards, so
+/// a single final sort canonicalizes the multi-shard case too).
+void append_dedup_windows(
+    IngestCheckpoint& cp,
+    const std::unordered_map<std::uint32_t, DedupState>& dedup) {
+  for (const auto& [host, st] : dedup) {
+    IngestCheckpoint::HostWindow w;
+    w.host = host;
+    w.max_seq = st.max_seq;
+    w.seen.assign(st.seen.begin(), st.seen.end());
+    std::sort(w.seen.begin(), w.seen.end());
+    cp.hosts.push_back(std::move(w));
+  }
+}
+
+void finish_checkpoint(IngestCheckpoint& cp) {
+  std::sort(cp.hosts.begin(), cp.hosts.end(),
+            [](const IngestCheckpoint::HostWindow& a,
+               const IngestCheckpoint::HostWindow& b) {
+              return a.host < b.host;
+            });
+}
+
+DedupState window_to_state(const IngestCheckpoint::HostWindow& w) {
+  DedupState st;
+  st.max_seq = w.max_seq;
+  st.seen.insert(w.seen.begin(), w.seen.end());
+  return st;
 }
 
 void append_records(std::vector<ProbeRecord>& bucket,
@@ -207,6 +230,18 @@ class InlineSink final : public IngestSink {
   }
   [[nodiscard]] std::size_t num_threads() const override { return 0; }
 
+  IngestCheckpoint checkpoint() override {
+    IngestCheckpoint cp;
+    append_dedup_windows(cp, dedup_);
+    finish_checkpoint(cp);
+    return cp;
+  }
+
+  void restore(const IngestCheckpoint& cp) override {
+    dedup_.clear();
+    for (const auto& w : cp.hosts) dedup_[w.host] = window_to_state(w);
+  }
+
  private:
   void ingest(HostId host, std::vector<ProbeRecord>&& records) {
     if (hooks_.tap != nullptr && *hooks_.tap) {
@@ -306,22 +341,7 @@ class WorkerPoolSink final : public IngestSink {
         for (Item& it : items) process(s, std::move(it));
       }
     } else {
-      // Barrier: every queue empty and every worker between items. The
-      // predicate is evaluated under w.mu, which the worker releases after
-      // its final bucket append — that acquire/release pair is what makes
-      // the bucket writes below visible to this thread without locks.
-      for (auto& wp : workers_) {
-        Worker& w = *wp;
-        std::unique_lock<std::mutex> lk(w.mu);
-        w.cv.notify_all();  // wake a worker that raced its last notify
-        w.idle_cv.wait(lk, [&] {
-          if (w.in_flight != 0) return false;
-          for (std::size_t s : w.shard_ids) {
-            if (!shards_[s].queue.empty()) return false;
-          }
-          return true;
-        });
-      }
+      barrier_wait();
     }
     // All shard buckets are quiescent now; merge in shard index order so the
     // result is byte-identical to the inline backend. The tap and flight
@@ -383,6 +403,24 @@ class WorkerPoolSink final : public IngestSink {
     }
   }
 
+  IngestCheckpoint checkpoint() override {
+    if (!stalled_.load(std::memory_order_relaxed)) barrier_wait();
+    // Hosts are disjoint across shards (static host % shards mapping), so
+    // folding every shard map and sorting once yields the canonical form.
+    IngestCheckpoint cp;
+    for (const Shard& sh : shards_) append_dedup_windows(cp, sh.dedup);
+    finish_checkpoint(cp);
+    return cp;
+  }
+
+  void restore(const IngestCheckpoint& cp) override {
+    if (!stalled_.load(std::memory_order_relaxed)) barrier_wait();
+    for (Shard& sh : shards_) sh.dedup.clear();
+    for (const auto& w : cp.hosts) {
+      shards_[w.host % shards_.size()].dedup[w.host] = window_to_state(w);
+    }
+  }
+
  private:
   struct Item {
     UploadBatch batch;
@@ -408,6 +446,25 @@ class WorkerPoolSink final : public IngestSink {
     bool stop = false;
     std::thread thread;
   };
+
+  /// Block until every queue is empty and every worker is between items.
+  /// The predicate is evaluated under w.mu, which the worker releases after
+  /// its final bucket append — that acquire/release pair is what makes the
+  /// shard state visible to the calling (sim) thread without further locks.
+  void barrier_wait() {
+    for (auto& wp : workers_) {
+      Worker& w = *wp;
+      std::unique_lock<std::mutex> lk(w.mu);
+      w.cv.notify_all();  // wake a worker that raced its last notify
+      w.idle_cv.wait(lk, [&] {
+        if (w.in_flight != 0) return false;
+        for (std::size_t s : w.shard_ids) {
+          if (!shards_[s].queue.empty()) return false;
+        }
+        return true;
+      });
+    }
+  }
 
   void enqueue(std::size_t s, Item&& item) {
     Worker& w = *workers_[shards_[s].worker];

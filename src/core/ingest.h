@@ -47,11 +47,40 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "core/types.h"
 
 namespace rpm::core {
+
+/// Per-host sliding-window batch-seq memory. Shared by both sink backends
+/// (with the pool a host's state lives in its shard, touched only by the
+/// shard's single consumer); also reused by the GlobalAnalyzer for per-pod
+/// digest dedup.
+struct DedupState {
+  std::uint64_t max_seq = 0;
+  std::unordered_set<std::uint64_t> seen;
+};
+
+/// True when `seq` is a first delivery inside the window; records the seq
+/// and slides the window forward.
+bool dedup_accept(DedupState& st, std::uint64_t seq, std::uint64_t window);
+
+/// Canonical snapshot of per-host (host, seq) dedup windows — what the
+/// StateJournal persists so a restarted sink keeps rejecting re-delivered
+/// history (Agent spill rings drain old seqs after a reconnect). Hosts
+/// ascending, seen seqs ascending: same state => same bytes when encoded.
+struct IngestCheckpoint {
+  struct HostWindow {
+    std::uint32_t host = 0;
+    std::uint64_t max_seq = 0;
+    std::vector<std::uint64_t> seen;  // ascending
+  };
+  std::vector<HostWindow> hosts;  // ascending by host
+
+  [[nodiscard]] bool empty() const { return hosts.empty(); }
+};
 
 /// Ingestion knobs (grouped as AnalyzerConfig::Ingest). Validated with
 /// validate() — construction-time rejection, never silent clamping.
@@ -115,6 +144,17 @@ class IngestSink {
 
   /// Analyzer outage: while paused, submit() drops on the floor.
   virtual void set_paused(bool paused) = 0;
+
+  /// Canonical snapshot of the per-host dedup windows for the StateJournal.
+  /// Sim thread only; the pool backend runs its drain barrier first, so the
+  /// snapshot reflects every batch submitted before the call.
+  [[nodiscard]] virtual IngestCheckpoint checkpoint() = 0;
+
+  /// Restart path: replace the dedup windows from a journaled snapshot so
+  /// re-delivered batches (spill-ring drains, transport retries from before
+  /// the crash) are suppressed instead of re-counted. Call on a fresh or
+  /// drained sink — buckets are untouched.
+  virtual void restore(const IngestCheckpoint& cp) = 0;
 
   [[nodiscard]] virtual std::size_t num_shards() const = 0;
   /// 0 for the inline backend.

@@ -1,0 +1,189 @@
+#include "core/journal.h"
+
+#include <stdexcept>
+
+namespace rpm::core {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t& off) {
+  if (off + 4 > in.size()) {
+    throw std::runtime_error("AnalyzerCheckpoint: truncated input");
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[off + i]) << (8 * i);
+  }
+  off += 4;
+  return v;
+}
+
+std::uint64_t get_u64(const std::vector<std::uint8_t>& in, std::size_t& off) {
+  if (off + 8 > in.size()) {
+    throw std::runtime_error("AnalyzerCheckpoint: truncated input");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[off + i]) << (8 * i);
+  }
+  off += 8;
+  return v;
+}
+
+void put_time(std::vector<std::uint8_t>& out, TimeNs t) {
+  put_u64(out, static_cast<std::uint64_t>(t));
+}
+
+TimeNs get_time(const std::vector<std::uint8_t>& in, std::size_t& off) {
+  return static_cast<TimeNs>(get_u64(in, off));
+}
+
+void put_ingest(std::vector<std::uint8_t>& out, const IngestCheckpoint& cp) {
+  put_u64(out, cp.hosts.size());
+  for (const auto& w : cp.hosts) {
+    put_u32(out, w.host);
+    put_u64(out, w.max_seq);
+    put_u64(out, w.seen.size());
+    for (std::uint64_t s : w.seen) put_u64(out, s);
+  }
+}
+
+IngestCheckpoint get_ingest(const std::vector<std::uint8_t>& in,
+                            std::size_t& off) {
+  IngestCheckpoint cp;
+  const std::uint64_t n = get_u64(in, off);
+  cp.hosts.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    IngestCheckpoint::HostWindow w;
+    w.host = get_u32(in, off);
+    w.max_seq = get_u64(in, off);
+    const std::uint64_t ns = get_u64(in, off);
+    w.seen.reserve(ns);
+    for (std::uint64_t j = 0; j < ns; ++j) w.seen.push_back(get_u64(in, off));
+    cp.hosts.push_back(std::move(w));
+  }
+  return cp;
+}
+
+void put_id_times(std::vector<std::uint8_t>& out,
+                  const std::vector<std::pair<std::uint32_t, TimeNs>>& v) {
+  put_u64(out, v.size());
+  for (const auto& [id, t] : v) {
+    put_u32(out, id);
+    put_time(out, t);
+  }
+}
+
+std::vector<std::pair<std::uint32_t, TimeNs>> get_id_times(
+    const std::vector<std::uint8_t>& in, std::size_t& off) {
+  std::vector<std::pair<std::uint32_t, TimeNs>> v;
+  const std::uint64_t n = get_u64(in, off);
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint32_t id = get_u32(in, off);
+    v.emplace_back(id, get_time(in, off));
+  }
+  return v;
+}
+
+}  // namespace
+
+void encode_checkpoint(const AnalyzerCheckpoint& cp,
+                       std::vector<std::uint8_t>& out) {
+  put_time(out, cp.last_period_end);
+  put_u64(out, cp.next_problem_id);
+  put_u64(out, cp.next_evidence_id);
+  put_id_times(out, cp.last_upload);
+  put_u64(out, cp.known_hosts.size());
+  for (std::uint32_t h : cp.known_hosts) put_u32(out, h);
+  put_id_times(out, cp.rnic_blamed_until);
+  put_ingest(out, cp.ingest);
+  put_u64(out, cp.digest_seq);
+  put_ingest(out, cp.digest_dedup);
+}
+
+AnalyzerCheckpoint decode_checkpoint(const std::vector<std::uint8_t>& in) {
+  AnalyzerCheckpoint cp;
+  std::size_t off = 0;
+  cp.last_period_end = get_time(in, off);
+  cp.next_problem_id = get_u64(in, off);
+  cp.next_evidence_id = get_u64(in, off);
+  cp.last_upload = get_id_times(in, off);
+  const std::uint64_t nk = get_u64(in, off);
+  cp.known_hosts.reserve(nk);
+  for (std::uint64_t i = 0; i < nk; ++i) {
+    cp.known_hosts.push_back(get_u32(in, off));
+  }
+  cp.rnic_blamed_until = get_id_times(in, off);
+  cp.ingest = get_ingest(in, off);
+  cp.digest_seq = get_u64(in, off);
+  cp.digest_dedup = get_ingest(in, off);
+  if (off != in.size()) {
+    throw std::runtime_error("AnalyzerCheckpoint: trailing bytes");
+  }
+  return cp;
+}
+
+void StateJournal::save_checkpoint(const std::string& role,
+                                   const AnalyzerCheckpoint& cp) {
+  std::vector<std::uint8_t>& slot = checkpoints_[role];
+  slot.clear();
+  encode_checkpoint(cp, slot);
+}
+
+std::optional<AnalyzerCheckpoint> StateJournal::load_checkpoint(
+    const std::string& role) const {
+  auto it = checkpoints_.find(role);
+  if (it == checkpoints_.end()) return std::nullopt;
+  return decode_checkpoint(it->second);
+}
+
+std::size_t StateJournal::checkpoint_bytes(const std::string& role) const {
+  auto it = checkpoints_.find(role);
+  return it == checkpoints_.end() ? 0 : it->second.size();
+}
+
+void StateJournal::archive(const std::string& role, obs::DiagnosisLog&& log) {
+  std::deque<obs::DiagnosisLog>& q = archives_[role];
+  q.push_back(std::move(log));
+  while (q.size() > cfg_.archive_limit) q.pop_front();
+}
+
+std::size_t StateJournal::archived(const std::string& role) const {
+  auto it = archives_.find(role);
+  return it == archives_.end() ? 0 : it->second.size();
+}
+
+const obs::EvidenceChain* StateJournal::find_problem(
+    const std::string& role, std::uint64_t problem_id) const {
+  auto it = archives_.find(role);
+  if (it == archives_.end()) return nullptr;
+  for (auto log = it->second.rbegin(); log != it->second.rend(); ++log) {
+    if (const obs::EvidenceChain* c = log->find_problem(problem_id)) return c;
+  }
+  return nullptr;
+}
+
+const obs::EvidenceChain* StateJournal::find_evidence(
+    const std::string& role, std::uint64_t evidence_id) const {
+  auto it = archives_.find(role);
+  if (it == archives_.end()) return nullptr;
+  for (auto log = it->second.rbegin(); log != it->second.rend(); ++log) {
+    if (const obs::EvidenceChain* c = log->find(evidence_id)) return c;
+  }
+  return nullptr;
+}
+
+}  // namespace rpm::core

@@ -226,6 +226,11 @@ struct PinglistPullResponse {
   };
   std::vector<PerRnic> rnics;
   std::vector<RnicCommInfo> comm;  // answers for comm_targets (found only)
+  /// Epoch of the Controller that served this response. Agents fence with
+  /// it: a response carrying an epoch older than the newest one the Agent
+  /// has heard (registration/heartbeat acks) is a stale pinglist from a
+  /// deposed primary and must be discarded, not applied.
+  std::uint64_t controller_epoch = 0;
 };
 
 /// Everything one 20 s analysis period produced.

@@ -33,6 +33,9 @@ const char* probe_event_name(ProbeEventKind k) {
     case ProbeEventKind::kSpillDrained: return "spill-ring-drain";
     case ProbeEventKind::kSketchFlush: return "sketch-flush";
     case ProbeEventKind::kSketchMerge: return "sketch-merge";
+    case ProbeEventKind::kDigestFlush: return "digest-flush";
+    case ProbeEventKind::kDigestMerge: return "digest-merge";
+    case ProbeEventKind::kFailover: return "controller-failover";
   }
   return "?";
 }

@@ -69,6 +69,9 @@ enum class ProbeEventKind : std::uint8_t {
   kSketchFlush,      // link sketches flushed into a SketchReport;
                      // a = report seq, b = links in the report
   kSketchMerge,      // Analyzer merged a SketchReport; a = seq, b = links
+  kDigestFlush,      // PodAnalyzer flushed a PodDigest; a = seq, b = problems
+  kDigestMerge,      // GlobalAnalyzer merged a PodDigest; a = pod, b = seq
+  kFailover,         // standby Controller promoted; a = new epoch, b = member
 };
 
 const char* probe_event_name(ProbeEventKind k);

@@ -751,17 +751,14 @@ TEST_F(AnalyzerTest, ConfigValidation) {
   EXPECT_NO_THROW(Analyzer(topo_, ctrl_, sched_, pool));
 }
 
-TEST_F(AnalyzerTest, DeprecatedIngestBatchShimStillWorks) {
-  // ingest_batch is a deprecated forwarding shim (kept one release); the
-  // supported surface is sink().submit().
+TEST_F(AnalyzerTest, SinkSubmitIsTheIngestSurface) {
+  // The deprecated ingest_batch shim is gone; sink().submit() is the one
+  // ingest surface.
   UploadBatch b;
   b.host = HostId{0};
   b.seq = 1;
   b.records.push_back(make_record(RnicId{0}, RnicId{1}, ProbeStatus::kOk));
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  analyzer_.ingest_batch(std::move(b));
-#pragma GCC diagnostic pop
+  analyzer_.sink().submit(std::move(b));
   EXPECT_EQ(analyzer_.analyze_now().records_processed, 1u);
 }
 
