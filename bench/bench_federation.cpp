@@ -142,24 +142,24 @@ int run(int argc, char** argv) {
       static_cast<double>(upload_bytes) /
       static_cast<double>(digest_wire_bytes == 0 ? 1 : digest_wire_bytes);
 
-  // ---- JSON ----
-  std::string json = "{\"bench\":\"federation\",";
+  // ---- JSON (one BenchJson schema shared by every BENCH_*.json) ----
+  bench::BenchJson out("federation");
   char buf[512];
-  std::snprintf(buf, sizeof(buf),
-                "\"hosts\":%u,\"pods\":%zu,\"seconds\":%d,\"seed\":7,",
-                hosts, d.rpm.num_pods(), seconds);
-  json += buf;
+  out.param("hosts", hosts)
+      .param("pods", static_cast<std::uint64_t>(d.rpm.num_pods()))
+      .param("seconds", static_cast<std::uint64_t>(seconds))
+      .param("seed", 7);
   std::snprintf(
       buf, sizeof(buf),
-      "\"global\":{\"periods\":%zu,\"merges\":%llu,\"problems\":%zu,"
-      "\"upload_bytes\":%llu,\"digest_bytes\":%llu,\"fan_in_x\":%.2f},",
+      "{\"periods\":%zu,\"merges\":%llu,\"problems\":%zu,"
+      "\"upload_bytes\":%llu,\"digest_bytes\":%llu,\"fan_in_x\":%.2f}",
       rep.periods,
       static_cast<unsigned long long>(
           d.rpm.federated() ? d.rpm.global_analyzer().merges() : 0),
       rep.problems_total, static_cast<unsigned long long>(upload_bytes),
       static_cast<unsigned long long>(digest_wire_bytes), fan_in_x);
-  json += buf;
-  json += "\"per_pod\":[";
+  out.metric_raw("global", buf);
+  std::string per_pod = "[";
   for (std::size_t p = 0; p < pod_stats.size(); ++p) {
     const PodStats& st = pod_stats[p];
     std::snprintf(buf, sizeof(buf),
@@ -170,31 +170,31 @@ int run(int argc, char** argv) {
                       st.periods == 0 ? 0 : st.records / st.periods),
                   static_cast<unsigned long long>(st.digests),
                   static_cast<unsigned long long>(st.digest_bytes));
-    json += buf;
+    per_pod += buf;
   }
-  json += "],\"recoveries\":[";
+  per_pod += "]";
+  out.metric_raw("per_pod", per_pod);
+  std::string recoveries = "[";
   for (std::size_t i = 0; i < rep.recoveries.size(); ++i) {
     std::snprintf(buf, sizeof(buf),
                   "%s{\"event\":\"%s\",\"periods_to_recover\":%d}",
                   i == 0 ? "" : ",", rep.recoveries[i].event.c_str(),
                   rep.recoveries[i].periods_to_recover);
-    json += buf;
+    recoveries += buf;
   }
-  std::snprintf(buf, sizeof(buf), "],\"false_positives\":%zu",
-                rep.false_positives);
-  json += buf;
+  recoveries += "]";
+  out.metric_raw("recoveries", recoveries);
+  out.metric("false_positives",
+             static_cast<std::uint64_t>(rep.false_positives));
 
   if (dump) {
     // Deterministic view only — byte-identical across same-seed runs.
-    std::printf("%s}\n", json.c_str());
+    std::printf("%s\n", out.str().c_str());
     return 0;
   }
 
-  std::snprintf(buf, sizeof(buf), ",\"cpu_ms\":%.1f}", cpu_ms);
-  json += buf;
-  std::ofstream f(out_path);
-  f << json << "\n";
-  f.close();
+  out.metric("cpu_ms", cpu_ms, "%.1f");
+  out.write_file(out_path);
 
   bench::print_header("Federation fan-in + failover recovery");
   bench::print_row_header(

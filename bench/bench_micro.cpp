@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/analyzer.h"
 #include "core/controller.h"
 #include "fabric/fabric.h"
@@ -424,10 +425,13 @@ int write_ingest_json(const std::string& path) {
     period_bytes += core::upload_batch_wire_bytes(b);
   }
 
-  std::string json = "{\"bench\":\"ingest\",";
-  json += "\"records_per_period\":" + std::to_string(kRecords) + ",";
-  json += "\"bytes_per_period\":" + std::to_string(period_bytes) + ",";
-  json += "\"modes\":[";
+  bench::BenchJson out("ingest");
+  out.param("records_per_period", static_cast<std::uint64_t>(kRecords))
+      .param("batch", static_cast<std::uint64_t>(kBatch))
+      .param("hosts", 64)
+      .param("shards", 8);
+  out.metric("bytes_per_period", static_cast<std::uint64_t>(period_bytes));
+  std::string modes = "[";
   bool first = true;
   for (const std::size_t threads : {std::size_t{0}, std::size_t{1},
                                     std::size_t{2}, std::size_t{4}}) {
@@ -456,18 +460,17 @@ int write_ingest_json(const std::string& path) {
     char buf[128];
     std::snprintf(buf, sizeof(buf), "%s{\"threads\":%zu,\"events_per_sec\":%.0f}",
                   first ? "" : ",", threads, eps);
-    json += buf;
+    modes += buf;
     first = false;
   }
-  json += "]}";
+  modes += "]";
+  out.metric_raw("modes", modes);
 
-  std::ofstream f(path);
-  if (!f) {
+  if (!out.write_file(path)) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  f << json << "\n";
-  std::printf("wrote %s: %s\n", path.c_str(), json.c_str());
+  std::printf("wrote %s: %s\n", path.c_str(), out.str().c_str());
   return 0;
 }
 

@@ -121,17 +121,16 @@ std::string result_json(std::uint32_t hosts, int seconds,
       static_cast<double>(off.wire_bytes) /
       static_cast<double>(on.wire_bytes == 0 ? 1 : on.wire_bytes);
   char buf[256];
-  std::string out = "{\"bench\":\"sketch_volume\",";
-  std::snprintf(buf, sizeof(buf), "\"hosts\":%u,\"seconds\":%d,\"seed\":7,",
-                hosts, seconds);
-  out += buf;
-  out += "\"off\":" + mode_json(off, with_cpu) + ",";
-  out += "\"on\":" + mode_json(on, with_cpu) + ",";
+  bench::BenchJson out("sketch_volume");
+  out.param("hosts", hosts)
+      .param("seconds", static_cast<std::uint64_t>(seconds))
+      .param("seed", 7);
+  out.metric_raw("off", mode_json(off, with_cpu));
+  out.metric_raw("on", mode_json(on, with_cpu));
   std::snprintf(buf, sizeof(buf),
-                "\"reduction\":{\"records_x\":%.2f,\"bytes_x\":%.2f}}",
-                rec_x, byte_x);
-  out += buf;
-  return out;
+                "{\"records_x\":%.2f,\"bytes_x\":%.2f}", rec_x, byte_x);
+  out.metric_raw("reduction", buf);
+  return out.str();
 }
 
 int run(int argc, char** argv) {

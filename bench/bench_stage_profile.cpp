@@ -1,0 +1,249 @@
+// Submit→verdict wall-clock breakdown (ROADMAP "Streaming period close").
+//
+// Drives the Analyzer directly — synthetic ToR-mesh records batched over 64
+// hosts, no fabric in the loop — across a grid of records/period × ingest
+// worker threads, with the stage profiler on. Each cell reports end-to-end
+// wall time, events/sec, and the per-stage profile (ingest.submit,
+// ingest.drain_barrier, drain.triage/vote/sla/..., period.close), which is
+// exactly the baseline the streaming-period-close work will optimize
+// against: today everything after the barrier is serial on the sim thread,
+// and the stage rows show it.
+//
+// Flags:
+//   --records L   comma list of records/period      (default 100000,1000000)
+//   --threads L   comma list of ingest threads      (default 0,1,2,4)
+//   --reps N      measured periods per cell         (default 3)
+//   --budget-ms B period-close watchdog budget, 0 = off (default 0)
+//   --out PATH    output JSON                (default BENCH_profile.json)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/analyzer.h"
+#include "core/controller.h"
+#include "prof/prof.h"
+#include "routing/ecmp.h"
+#include "sim/scheduler.h"
+#include "topo/topology.h"
+
+namespace rpm {
+namespace {
+
+std::vector<std::uint64_t> parse_list(const char* s) {
+  std::vector<std::uint64_t> out;
+  std::uint64_t cur = 0;
+  bool have = false;
+  for (; *s != '\0'; ++s) {
+    if (*s == ',') {
+      if (have) out.push_back(cur);
+      cur = 0;
+      have = false;
+    } else if (*s >= '0' && *s <= '9') {
+      cur = cur * 10 + static_cast<std::uint64_t>(*s - '0');
+      have = true;
+    }
+  }
+  if (have) out.push_back(cur);
+  return out;
+}
+
+struct CellResult {
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t periods = 0;
+  std::string stages;  // JSON array
+};
+
+/// One (records/period, threads) cell: fresh Analyzer, fresh profiler
+/// epoch; 1 warm-up period + `reps` measured periods.
+CellResult run_cell(const topo::Topology& topo, const core::Controller& ctrl,
+                    std::uint64_t records_per_period, std::size_t threads,
+                    int reps, TimeNs budget) {
+  constexpr std::size_t kBatch = 128;
+  constexpr std::uint32_t kHosts = 64;
+
+  sim::EventScheduler sched;
+  core::AnalyzerConfig cfg;
+  cfg.period = sec(5);
+  cfg.ingest.shards = 8;
+  cfg.ingest.threads = threads;
+  cfg.ingest.queue_capacity = 1 << 16;
+  core::Analyzer analyzer(topo, ctrl, sched, cfg);
+
+  const std::vector<topo::HostInfo>& hosts = topo.hosts();
+  core::ProbeRecord proto;
+  proto.kind = core::ProbeKind::kTorMesh;
+  proto.status = core::ProbeStatus::kOk;
+  proto.network_rtt = usec(5);
+  proto.responder_delay = usec(2);
+  proto.prober_delay = usec(3);
+
+  std::uint64_t seq = 1;
+  std::uint64_t next_id = 1;
+  const auto run_period = [&](int period_idx) {
+    sched.run_until(cfg.period * static_cast<TimeNs>(period_idx + 1));
+    for (std::uint64_t done = 0; done < records_per_period; done += kBatch) {
+      core::UploadBatch b;
+      const std::size_t hi =
+          static_cast<std::size_t>(done / kBatch) % kHosts % hosts.size();
+      const topo::HostInfo& h = hosts[hi];
+      b.host = h.id;
+      b.seq = seq++;
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kBatch, records_per_period - done));
+      b.records.assign(n, proto);
+      for (core::ProbeRecord& r : b.records) {
+        r.id = next_id++;
+        r.prober = h.rnics[0];
+        r.prober_host = h.id;
+        r.target = hosts[(hi + 1) % hosts.size()].rnics[0];
+        r.sent_at = sched.now();
+        // Spread RTTs so the SLA percentile tables do real work.
+        r.network_rtt = usec(3) + static_cast<TimeNs>(r.id % 512) * 10;
+      }
+      analyzer.sink().submit(std::move(b));
+    }
+    (void)analyzer.analyze_now();
+  };
+
+  prof::ProfilerConfig pcfg;
+  pcfg.period_close_budget = budget;
+  pcfg.max_trace_events = 0;  // stats only; no trace allocation in the loop
+  prof::profiler().enable(pcfg);
+  run_period(0);  // warm-up: pool spin-up, dedup maps, bucket capacity
+  prof::profiler().enable(pcfg);  // reset buffers; keep only measured reps
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int p = 0; p < reps; ++p) run_period(p + 1);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  prof::profiler().disable();
+
+  CellResult res;
+  res.wall_ms = secs * 1e3;
+  res.events_per_sec =
+      static_cast<double>(records_per_period * static_cast<std::uint64_t>(
+                                                   reps)) /
+      (secs > 0 ? secs : 1e-9);
+  res.periods = static_cast<std::uint64_t>(reps);
+  res.stages = bench::stages_json(prof::profiler().report());
+  return res;
+}
+
+int run(int argc, char** argv) {
+  std::vector<std::uint64_t> records = {100000, 1000000};
+  std::vector<std::uint64_t> threads = {0, 1, 2, 4};
+  int reps = 3;
+  std::uint64_t budget_ms = 0;
+  std::string out_path = "BENCH_profile.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--records") == 0 && i + 1 < argc) {
+      records = parse_list(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = parse_list(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::stoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--budget-ms") == 0 && i + 1 < argc) {
+      budget_ms = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--records L] [--threads L] [--reps N] "
+                   "[--budget-ms B] [--out P]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (records.empty() || threads.empty() || reps < 1) {
+    std::fprintf(stderr, "empty grid\n");
+    return 2;
+  }
+
+  // 64-host 2-pod Clos; the workload addresses hosts by index so the cell
+  // driver works for any size >= 1.
+  topo::ClosConfig tcfg;
+  tcfg.num_pods = 2;
+  tcfg.tors_per_pod = 4;
+  tcfg.aggs_per_pod = 2;
+  tcfg.spines_per_plane = 2;
+  tcfg.hosts_per_tor = 8;
+  tcfg.rnics_per_host = 1;
+  const topo::Topology topo = topo::build_clos(tcfg);
+  routing::EcmpRouter router(topo);
+  core::Controller ctrl(topo, router);
+
+  bench::BenchJson out("stage_profile");
+  const auto join = [](const std::vector<std::uint64_t>& v) {
+    std::string s;
+    for (std::uint64_t x : v) {
+      if (!s.empty()) s += ',';
+      s += std::to_string(x);
+    }
+    return s;
+  };
+  out.param("hosts", static_cast<std::uint64_t>(topo.hosts().size()))
+      .param("shards", 8)
+      .param("batch", 128)
+      .param("reps", static_cast<std::uint64_t>(reps))
+      .param("records_list", join(records))
+      .param("threads_list", join(threads))
+      .param("budget_ms", budget_ms);
+
+  bench::print_header("Submit -> verdict wall-clock stage profile");
+  bench::print_row_header({"records/period", "threads", "wall ms/period",
+                           "events/sec", "overruns"});
+
+  std::string runs = "[";
+  bool first = true;
+  prof::ProfileReport biggest;
+  char buf[160];
+  for (const std::uint64_t rpp : records) {
+    for (const std::uint64_t th : threads) {
+      const CellResult cell =
+          run_cell(topo, ctrl, rpp, static_cast<std::size_t>(th), reps,
+                   static_cast<TimeNs>(budget_ms) * 1000000);
+      const std::uint64_t overruns = prof::profiler().budget_overruns();
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"records\":%llu,\"threads\":%llu,"
+                    "\"wall_ms\":%.1f,\"events_per_sec\":%.0f,"
+                    "\"budget_overruns\":%llu,\"stages\":",
+                    first ? "" : ",",
+                    static_cast<unsigned long long>(rpp),
+                    static_cast<unsigned long long>(th), cell.wall_ms,
+                    cell.events_per_sec,
+                    static_cast<unsigned long long>(overruns));
+      runs += buf;
+      runs += cell.stages;
+      runs += '}';
+      first = false;
+      biggest = prof::profiler().report();
+      std::printf("%-22llu%-22llu%-22.1f%-22.0f%-22llu\n",
+                  static_cast<unsigned long long>(rpp),
+                  static_cast<unsigned long long>(th),
+                  cell.wall_ms / reps, cell.events_per_sec,
+                  static_cast<unsigned long long>(overruns));
+    }
+  }
+  runs += "]";
+  out.metric_raw("runs", runs);
+  // Top-level stages row: the last (largest) cell, for the standard schema.
+  out.stages_from(biggest);
+
+  if (!out.write_file(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace rpm
+
+int main(int argc, char** argv) { return rpm::run(argc, argv); }

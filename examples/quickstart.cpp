@@ -17,6 +17,7 @@
 #include "host/cluster.h"
 #include "obs/diagnosis.h"
 #include "obs/flight_recorder.h"
+#include "prof/prof.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -81,6 +82,15 @@ int main() {
   flight_cfg.capacity = 1 << 15;
   obs::recorder().enable(
       flight_cfg, [&cluster]() -> TimeNs { return cluster.scheduler().now(); });
+
+  // ...and the wall-clock stage profiler: where CPU time actually goes
+  // between submit and verdict (sim dispatch, ingest, the drain.* stages),
+  // with a 50 ms watchdog on each period close. Purely observational — the
+  // simulation's decisions never see wall time.
+  prof::ProfilerConfig prof_cfg;
+  prof_cfg.period_close_budget = msec(50);
+  prof::profiler().enable(prof_cfg);
+  prof::profiler().attach_scheduler(cluster.scheduler());
 
   // 3. Deploy R-Pingmesh: Controller + one Agent per host + Analyzer.
   core::RPingmesh rpm(cluster);
@@ -171,10 +181,16 @@ int main() {
   std::printf("\nevent loop:\n");
   print_filtered(prom, {"rpm_sim_"});
 
-  // The trace of everything above — telemetry spans plus one track per
-  // sampled probe — viewable in chrome://tracing / Perfetto.
-  const std::string trace =
-      telemetry::tracer().chrome_json(obs::recorder().chrome_events());
+  // The trace of everything above — telemetry spans, one track per sampled
+  // probe, and the profiler's wall-clock stage tracks (pid 3) — viewable in
+  // chrome://tracing / Perfetto.
+  std::string extra = obs::recorder().chrome_events();
+  const std::string prof_events = prof::profiler().chrome_events();
+  if (!prof_events.empty()) {
+    if (!extra.empty()) extra += ',';
+    extra += prof_events;
+  }
+  const std::string trace = telemetry::tracer().chrome_json(extra);
   if (std::FILE* f = std::fopen("quickstart_trace.json", "w")) {
     std::fwrite(trace.data(), 1, trace.size(), f);
     std::fclose(f);
@@ -208,7 +224,32 @@ int main() {
     }
   }
 
+  // Where the wall-clock went, per stage (quickstart_profile.json holds the
+  // full breakdown with quantiles).
+  const prof::ProfileReport prof_rep = prof::profiler().report();
+  std::printf("\nwall-clock stage profile (count / total ms):\n");
+  for (std::size_t i = 0; i < prof::kNumStages; ++i) {
+    const prof::StageStats& st = prof_rep.stages[i];
+    if (st.count == 0) continue;
+    std::printf("  %-22s %8llu  %10.2f\n",
+                prof::stage_name(static_cast<prof::Stage>(i)),
+                static_cast<unsigned long long>(st.count),
+                static_cast<double>(st.total_ns) / 1e6);
+  }
+  const std::string prof_json = prof_rep.to_json();
+  if (std::FILE* f = std::fopen("quickstart_profile.json", "w")) {
+    std::fwrite(prof_json.data(), 1, prof_json.size(), f);
+    std::fclose(f);
+    std::printf("stage profile (%llu period closes, %llu budget overruns)"
+                " -> quickstart_profile.json\n",
+                static_cast<unsigned long long>(
+                    prof_rep.stage(prof::Stage::kPeriodClose).count),
+                static_cast<unsigned long long>(prof_rep.budget_overruns));
+  }
+
   rpm.stop();
+  prof::profiler().disable();
+  prof::Profiler::detach_scheduler(cluster.scheduler());
   obs::recorder().disable();
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "common/stats.h"
 #include "fabric/fabric.h"
 #include "obs/flight_recorder.h"
+#include "prof/prof.h"
 #include "telemetry/trace.h"
 
 namespace rpm::core {
@@ -343,13 +344,24 @@ const PeriodReport& AnalysisCore::analyze_period(
   std::chrono::steady_clock::time_point stage_t0{};
   // Transition between pipeline stages: close the previous stage's span and
   // wall-clock histogram sample, open the next. enter_stage(-1) closes out.
+  // The wall-clock profiler reuses enter_stage's clock reads; its coarser
+  // stage set folds classify/rnic_detect/attribute into drain.triage.
+  static constexpr prof::Stage kProfStage[kNumStages] = {
+      prof::Stage::kDrainTriage,     prof::Stage::kDrainTriage,
+      prof::Stage::kDrainTriage,     prof::Stage::kDrainVote,
+      prof::Stage::kDrainBottleneck, prof::Stage::kDrainSla,
+      prof::Stage::kDrainImpact,
+  };
   const auto enter_stage = [&](int next) {
     const auto wall = std::chrono::steady_clock::now();
     if (cur_stage >= 0) {
-      metrics_.stage_ns[cur_stage].observe(static_cast<double>(
+      const auto ns =
           std::chrono::duration_cast<std::chrono::nanoseconds>(wall -
                                                                stage_t0)
-              .count()));
+              .count();
+      metrics_.stage_ns[cur_stage].observe(static_cast<double>(ns));
+      prof::profiler().record(kProfStage[cur_stage],
+                              static_cast<std::uint64_t>(ns));
       telemetry::tracer().end_span(stage_span);
     }
     cur_stage = next;
@@ -1121,6 +1133,10 @@ const PeriodReport& AnalysisCore::analyze_period(
   enter_stage(-1);
   telemetry::tracer().end_span(period_span);
 
+  // Period-end bookkeeping (metric tallies, history/diagnosis retention,
+  // journal spill) is its own profiled stage: it runs outside the
+  // enter_stage window but still inside the period close.
+  prof::StageScope diaglog_scope(prof::Stage::kDrainDiaglog);
   metrics_.timeouts_by_cause[static_cast<int>(AnomalyCause::kHostDown)].inc(
       rep.timeouts_host_down);
   metrics_.timeouts_by_cause[static_cast<int>(AnomalyCause::kQpnReset)].inc(

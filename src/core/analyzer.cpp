@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "prof/prof.h"
 #include "telemetry/trace.h"
 
 namespace rpm::core {
@@ -66,6 +67,8 @@ void Analyzer::set_outage(bool outage) {
 }
 
 const PeriodReport& Analyzer::analyze_now() {
+  // Watchdog over the whole close: drain -> analyze -> hooks -> checkpoint.
+  prof::PeriodCloseScope close_scope;
   const TimeNs now = sched_.now();
   std::vector<ProbeRecord> records = sink_->drain_period();
   // The summary is drained unconditionally so a stray test summary can

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "obs/flight_recorder.h"
+#include "prof/prof.h"
 #include "telemetry/trace.h"
 
 namespace rpm::core {
@@ -75,6 +76,7 @@ PodAnalyzer::PodAnalyzer(const topo::Topology& topo,
 
 void PodAnalyzer::on_period(const PeriodReport& rep,
                             const obs::DiagnosisLog& dlog) {
+  prof::StageScope prof_scope(prof::Stage::kDigestFlush);
   PodDigest d;
   d.pod = pod_;
   d.seq = ++seq_;
@@ -315,6 +317,10 @@ void GlobalAnalyzer::vote_foreign(
 }
 
 const PeriodReport& GlobalAnalyzer::merge_now() {
+  // A global merge is the federation tier's period close: same watchdog,
+  // with the merge itself as a profiled stage inside it.
+  prof::PeriodCloseScope close_scope;
+  prof::StageScope merge_scope(prof::Stage::kGlobalMerge);
   const TimeNs now = sched_.now();
   std::vector<PodDigest> digests = std::move(pending_);
   pending_.clear();

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "obs/flight_recorder.h"
+#include "prof/prof.h"
 #include "telemetry/metrics.h"
 
 namespace rpm::core {
@@ -174,6 +175,7 @@ class InlineSink final : public IngestSink {
     // and nothing should arrive, but a delivery that races the cutover must
     // not land in a shard no period will ever drain correctly.
     if (paused_) return;
+    prof::StageScope prof_scope(prof::Stage::kIngestSubmit);
     if (hooks_.host_alive) hooks_.host_alive(batch.host);
     if (!dedup_accept(dedup_[batch.host.value], batch.seq,
                       cfg_.dedup_window)) {
@@ -194,6 +196,7 @@ class InlineSink final : public IngestSink {
 
   void submit_trusted(HostId host,
                       std::vector<ProbeRecord>&& records) override {
+    prof::StageScope prof_scope(prof::Stage::kIngestSubmit);
     metrics_.uploads.inc();
     metrics_.records.inc(records.size());
     if (hooks_.host_alive) hooks_.host_alive(host);
@@ -341,6 +344,7 @@ class WorkerPoolSink final : public IngestSink {
         for (Item& it : items) process(s, std::move(it));
       }
     } else {
+      prof::StageScope prof_scope(prof::Stage::kIngestDrainBarrier);
       barrier_wait();
     }
     // All shard buckets are quiescent now; merge in shard index order so the
@@ -513,7 +517,11 @@ class WorkerPoolSink final : public IngestSink {
 
   /// Dedup + count + bucket append for one queued item. Caller guarantees
   /// exclusive access to shard `s` (owning worker, or sim thread at drain).
+  /// Profiled as ingest.submit: with workers live this is the worker-thread
+  /// side of a submit (the per-thread profiler buffers earn their keep
+  /// here); under stall it is the sim thread doing the same work.
   void process(std::size_t s, Item&& item) {
+    prof::StageScope prof_scope(prof::Stage::kIngestSubmit);
     Shard& sh = shards_[s];
     if (!item.trusted) {
       if (!dedup_accept(sh.dedup[item.batch.host.value], item.batch.seq,

@@ -36,6 +36,8 @@ const char* probe_event_name(ProbeEventKind k) {
     case ProbeEventKind::kDigestFlush: return "digest-flush";
     case ProbeEventKind::kDigestMerge: return "digest-merge";
     case ProbeEventKind::kFailover: return "controller-failover";
+    case ProbeEventKind::kPeriodClose: return "period-close";
+    case ProbeEventKind::kBudgetOverrun: return "budget-overrun";
   }
   return "?";
 }
@@ -76,6 +78,7 @@ void FlightRecorder::enable(FlightRecorderConfig cfg, ClockFn clock) {
   index_.clear();
   bindings_.clear();
   binding_order_.clear();
+  markers_.clear();
   seen_ = sampled_ = evicted_ = dropped_ = 0;
   auto& reg = telemetry::registry();
   m_sampled_ = reg.counter("rpm_obs_probes_sampled_total",
@@ -98,7 +101,19 @@ void FlightRecorder::disable() {
   index_.clear();
   bindings_.clear();
   binding_order_.clear();
+  markers_.clear();
   next_slot_ = 0;
+}
+
+void FlightRecorder::marker_slow(ProbeEventKind k, std::uint64_t a,
+                                 std::uint64_t b) {
+  Marker m;
+  m.t = stamp();
+  m.kind = k;
+  m.a = a;
+  m.b = b;
+  markers_.push_back(m);
+  while (markers_.size() > cfg_.max_markers) markers_.pop_front();
 }
 
 TimeNs FlightRecorder::stamp() {
@@ -206,6 +221,21 @@ std::string FlightRecorder::to_json() const {
   out += ",\"probes_sampled\":" + std::to_string(sampled_);
   out += ",\"evicted\":" + std::to_string(evicted_);
   out += ",\"dropped_events\":" + std::to_string(dropped_);
+  if (!markers_.empty()) {
+    // Process-level markers (period closes, budget overruns). Omitted when
+    // empty so dumps from runs without a profiler stay unchanged.
+    out += ",\"markers\":[";
+    bool mfirst = true;
+    for (const Marker& m : markers_) {
+      if (!mfirst) out += ',';
+      mfirst = false;
+      out += "{\"t\":" + std::to_string(m.t) + ",\"event\":\"";
+      append_json_escaped(out, probe_event_name(m.kind));
+      out += "\",\"a\":" + std::to_string(m.a) +
+             ",\"b\":" + std::to_string(m.b) + '}';
+    }
+    out += ']';
+  }
   out += ",\"timelines\":[";
   bool first = true;
   for (const ProbeTimeline* tl : timelines()) {

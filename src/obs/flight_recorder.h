@@ -72,6 +72,10 @@ enum class ProbeEventKind : std::uint8_t {
   kDigestFlush,      // PodAnalyzer flushed a PodDigest; a = seq, b = problems
   kDigestMerge,      // GlobalAnalyzer merged a PodDigest; a = pod, b = seq
   kFailover,         // standby Controller promoted; a = new epoch, b = member
+  kPeriodClose,      // Analyzer period close finished; a = wall ns,
+                     // b = prof::Stage index of the close's top-cost stage
+  kBudgetOverrun,    // period close exceeded the profiler's wall budget;
+                     // a = wall ns, b = top-cost prof::Stage index
 };
 
 const char* probe_event_name(ProbeEventKind k);
@@ -110,7 +114,18 @@ struct FlightRecorderConfig {
   std::size_t capacity = 4096;         // ring slots; oldest timeline evicted
   std::size_t max_events_per_probe = 96;
   std::size_t max_batch_bindings = 1024;
+  std::size_t max_markers = 1024;      // process-level marker FIFO cap
   std::uint64_t seed = 0x0b5f11447ULL; // sampling Rng seed (determinism)
+};
+
+/// A process-level (not per-probe) event: period closes, budget overruns.
+/// Markers bypass sampling — they never touch the sampling Rng, so emitting
+/// one cannot perturb which probes get recorded.
+struct Marker {
+  TimeNs t = 0;
+  ProbeEventKind kind{};
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
 };
 
 class FlightRecorder {
@@ -142,6 +157,15 @@ class FlightRecorder {
   [[nodiscard]] bool tracking(std::uint64_t probe_id) const {
     return enabled_ && index_.contains(probe_id);
   }
+
+  /// Append a process-level marker (kPeriodClose, kBudgetOverrun, ...).
+  /// One branch when disabled; no sampling decision, no Rng draw. Bounded
+  /// FIFO: oldest markers fall off past `max_markers`.
+  void marker(ProbeEventKind k, std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (!enabled_) return;
+    marker_slow(k, a, b);
+  }
+  [[nodiscard]] const std::deque<Marker>& markers() const { return markers_; }
 
   // ---- transport correlation ----
   // A flushed UploadBatch carries many records; the Agent binds the sampled
@@ -178,6 +202,7 @@ class FlightRecorder {
  private:
   void record_slow(std::uint64_t probe_id, ProbeEventKind k, std::uint64_t a,
                    std::uint64_t b);
+  void marker_slow(ProbeEventKind k, std::uint64_t a, std::uint64_t b);
   [[nodiscard]] TimeNs stamp();
 
   bool enabled_ = false;
@@ -195,6 +220,7 @@ class FlightRecorder {
   };
   std::map<std::pair<std::uint64_t, std::uint64_t>, Binding> bindings_;
   std::deque<std::pair<std::uint64_t, std::uint64_t>> binding_order_;
+  std::deque<Marker> markers_;
 
   std::uint64_t seen_ = 0;
   std::uint64_t sampled_ = 0;

@@ -1,5 +1,6 @@
 #include "sim/scheduler.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -21,7 +22,16 @@ void EventScheduler::execute(Entry& e) {
   // Move the callback out before invoking: it may schedule more events,
   // which mutates the queue.
   EventFn fn = std::move(e.fn);
-  fn();
+  if (dispatch_observer_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    dispatch_observer_(static_cast<std::uint64_t>(ns));
+  } else {
+    fn();
+  }
 }
 
 void EventScheduler::run_until(TimeNs t_end) {

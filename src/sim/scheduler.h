@@ -49,6 +49,16 @@ class EventScheduler {
   /// Total events executed so far (for overhead accounting).
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  /// Wall-clock dispatch observer: when set, every executed event's callback
+  /// is timed with std::chrono::steady_clock and the elapsed nanoseconds are
+  /// reported. Purely observational — it cannot affect event order or
+  /// simulated time (the profiler installs one; see prof::Profiler::
+  /// attach_scheduler). One branch per event when unset.
+  using DispatchObserver = std::function<void(std::uint64_t wall_ns)>;
+  void set_dispatch_observer(DispatchObserver obs) {
+    dispatch_observer_ = std::move(obs);
+  }
+
  private:
   struct Entry {
     TimeNs time;
@@ -67,6 +77,7 @@ class EventScheduler {
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  DispatchObserver dispatch_observer_;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/flight_recorder.h"
+#include "prof/prof.h"
 
 namespace rpm::sketch {
 namespace {
@@ -64,6 +65,7 @@ void SketchExporter::stop() {
 
 void SketchExporter::flush_now() {
   if (!running_) return;
+  prof::StageScope prof_scope(prof::Stage::kSketchFlush);
   const TimeNs now = sched_.now();
   auto links = bank_.flush();
   if (links.empty()) {

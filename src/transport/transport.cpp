@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "prof/prof.h"
+
 namespace rpm::transport {
 
 // ---------------------------------------------------------------------------
@@ -189,7 +191,10 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
     }
     // The handler runs for duplicates too (an at-least-once transport cannot
     // hide them); receivers dedup on header fields.
-    if (handler) handler(m->seq, m->payload);
+    if (handler) {
+      prof::StageScope prof_scope(prof::Stage::kTransportDeliver);
+      handler(m->seq, m->payload);
+    }
     // Ack path: same latency/loss model in the reverse direction. A lost ack
     // leaves the message unacked, so the retry timer fires a duplicate.
     if (rng.chance(effective_loss())) return;

@@ -197,6 +197,58 @@ TEST(Export, HistogramRendersAsSummary) {
             std::string::npos);
 }
 
+TEST(Export, HistogramCountSumSurviveTextRoundTrip) {
+  // The standard summary series must round-trip through the text format:
+  // every histogram's `<name>_count`/`<name>_sum` line, parsed back out of
+  // to_prometheus(), equals the snapshot's hist_count/hist_sum exactly.
+  // This is what downstream scrapers (and the BENCH_*.json validators)
+  // rely on — the quantile lines are approximations, these two are not.
+  MetricsRegistry reg;
+  Histogram a = reg.histogram("rt_lat_ns", "latency", {{"stage", "vote"}});
+  Histogram b = reg.histogram("rt_lat_ns", "latency", {{"stage", "sla"}});
+  Histogram c = reg.histogram("rt_close_ns", "close cost");
+  for (int i = 1; i <= 1000; ++i) a.observe(static_cast<double>(i));
+  b.observe(0.5);
+  b.observe(2.25);
+  c.observe(1e9);
+
+  const Snapshot snap = reg.snapshot();
+  const std::string text = to_prometheus(snap);
+
+  // Parse "<series> <value>\n" lines back into a map.
+  const auto parse_value = [&text](const std::string& series) {
+    const std::string needle = series + ' ';
+    const std::size_t pos = text.find(needle);
+    EXPECT_NE(pos, std::string::npos) << series;
+    if (pos == std::string::npos) return std::string();
+    const std::size_t eol = text.find('\n', pos);
+    return text.substr(pos + needle.size(), eol - pos - needle.size());
+  };
+
+  for (const SeriesSample& s : snap.series) {
+    if (s.type != MetricType::kHistogram) continue;
+    std::string labels;
+    if (!s.labels.empty()) {
+      labels = "{";
+      for (const Label& l : s.labels) {
+        if (labels.size() > 1) labels += ',';
+        labels += l.key + "=\"" + l.value + '"';
+      }
+      labels += '}';
+    }
+    EXPECT_EQ(parse_value(s.name + "_count" + labels),
+              std::to_string(s.hist_count))
+        << s.name << labels;
+    EXPECT_EQ(std::stod(parse_value(s.name + "_sum" + labels)), s.hist_sum)
+        << s.name << labels;
+  }
+  // Ground truth for the parse itself.
+  EXPECT_EQ(parse_value("rt_lat_ns_count{stage=\"vote\"}"), "1000");
+  EXPECT_EQ(parse_value("rt_lat_ns_count{stage=\"sla\"}"), "2");
+  EXPECT_EQ(std::stod(parse_value("rt_lat_ns_sum{stage=\"sla\"}")), 2.75);
+  EXPECT_EQ(parse_value("rt_close_ns_count"), "1");
+}
+
 TEST(Export, SurvivabilityMetricsRoundTrip) {
   // The five metric families the control-plane survivability layer emits
   // (src/core agent + controller) must survive both exporters intact: a
