@@ -65,14 +65,11 @@ int main(int argc, char** argv) {
       .controller_restart(sec(50))
       .analyzer_outage(sec(55), sec(73))
       .inject(sec(75), "host3-down",
-              [](faults::FaultInjector& inj) {
-                return inj.inject_host_down(HostId{3});
-              })
+              faults::FaultSpec::host_down(HostId{3}))
       .clear(sec(95), "host3-down")
       .inject(sec(100), "fabric-corruption",
-              [fabric_link](faults::FaultInjector& inj) {
-                return inj.inject_corruption(fabric_link, 0.5);
-              });  // never cleared: still active at campaign end
+              faults::FaultSpec::corruption(
+                  fabric_link, 0.5));  // still active at campaign end
 
   chaos::ChaosRunner runner(cluster, rpm, injector);
   const chaos::ChaosReport report = runner.run(plan);

@@ -23,6 +23,19 @@ const char* chaos_step_name(ChaosStep::Kind k) {
   return "?";
 }
 
+ChaosStep::Kind chaos_step_kind_from_name(std::string_view name) {
+  using Kind = ChaosStep::Kind;
+  for (const Kind k :
+       {Kind::kControllerCrash, Kind::kControllerRestart,
+        Kind::kAnalyzerOutageBegin, Kind::kAnalyzerOutageEnd,
+        Kind::kAgentRestart, Kind::kPodAnalyzerCrash, Kind::kPodAnalyzerRestart,
+        Kind::kInject, Kind::kClear}) {
+    if (name == chaos_step_name(k)) return k;
+  }
+  throw std::invalid_argument("ChaosStep: unknown kind '" + std::string(name) +
+                              "'");
+}
+
 ChaosPlan& ChaosPlan::controller_crash(TimeNs at) {
   ChaosStep s;
   s.kind = ChaosStep::Kind::kControllerCrash;
@@ -83,13 +96,13 @@ ChaosPlan& ChaosPlan::pod_analyzer_restart(TimeNs at, std::size_t pod) {
 }
 
 ChaosPlan& ChaosPlan::inject(TimeNs at, std::string label,
-                             std::function<int(faults::FaultInjector&)> fn) {
-  if (!fn) throw std::invalid_argument("inject: callable required");
+                             faults::FaultSpec spec) {
+  if (!spec.valid()) throw std::invalid_argument("inject: spec required");
   ChaosStep s;
   s.kind = ChaosStep::Kind::kInject;
   s.at = at;
   s.label = std::move(label);
-  s.inject = std::move(fn);
+  s.spec = std::move(spec);
   steps.push_back(std::move(s));
   return *this;
 }
@@ -195,7 +208,8 @@ ChaosReport ChaosRunner::run(const ChaosPlan& plan) {
           return;
         }
         case ChaosStep::Kind::kInject: {
-          const int h = step.inject(injector_);
+          const int h =
+              faults::FaultCatalog::instance().apply(injector_, step.spec);
           GroundTruth gt;
           gt.label = step.label;
           gt.rec = injector_.record(h);

@@ -26,12 +26,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.h"
 #include "core/rpingmesh.h"
+#include "faults/catalog.h"
 #include "faults/faults.h"
 #include "host/cluster.h"
 
@@ -47,19 +48,21 @@ struct ChaosStep {
     kAgentRestart,  // inject_qpn_reset ground truth + Agent::restart()
     kPodAnalyzerCrash,    // federated: crash pod `pod`'s Analyzer process
     kPodAnalyzerRestart,  // federated: journal-restore pod `pod`'s Analyzer
-    kInject,        // run `inject` against the FaultInjector
+    kInject,        // apply `spec` via the FaultCatalog
     kClear,         // clear the kInject step labeled `clear_ref`
   };
   Kind kind{};
   TimeNs at = 0;
-  std::string label;      // kInject: ground-truth key; others: display only
-  HostId host;            // kAgentRestart
-  std::size_t pod = 0;    // kPodAnalyzerCrash / kPodAnalyzerRestart
-  std::function<int(faults::FaultInjector&)> inject;  // kInject
-  std::string clear_ref;  // kClear
+  std::string label;        // kInject: ground-truth key; others: display only
+  HostId host;              // kAgentRestart
+  std::size_t pod = 0;      // kPodAnalyzerCrash / kPodAnalyzerRestart
+  faults::FaultSpec spec;   // kInject: named, serializable fault parameters
+  std::string clear_ref;    // kClear
 };
 
 const char* chaos_step_name(ChaosStep::Kind k);
+/// Inverse of chaos_step_name; throws std::invalid_argument on unknown.
+ChaosStep::Kind chaos_step_kind_from_name(std::string_view name);
 
 /// A scripted campaign. Build with the fluent helpers; steps may be added
 /// in any order (the runner schedules by `at`).
@@ -80,8 +83,7 @@ struct ChaosPlan {
   ChaosPlan& agent_restart(TimeNs at, HostId host);
   ChaosPlan& pod_analyzer_crash(TimeNs at, std::size_t pod);
   ChaosPlan& pod_analyzer_restart(TimeNs at, std::size_t pod);
-  ChaosPlan& inject(TimeNs at, std::string label,
-                    std::function<int(faults::FaultInjector&)> fn);
+  ChaosPlan& inject(TimeNs at, std::string label, faults::FaultSpec spec);
   ChaosPlan& clear(TimeNs at, std::string label);
 };
 

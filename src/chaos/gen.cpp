@@ -1,0 +1,134 @@
+#include "chaos/gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rpm::chaos {
+
+namespace {
+
+struct Window {
+  TimeNs from = 0;
+  TimeNs to = 0;
+};
+
+bool overlaps(const std::vector<Window>& reserved, TimeNs from, TimeNs to) {
+  return std::any_of(reserved.begin(), reserved.end(), [&](const Window& w) {
+    return from <= w.to && to >= w.from;
+  });
+}
+
+}  // namespace
+
+CampaignGen::CampaignGen(CampaignGenConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.duration <= cfg_.settle_tail + cfg_.period) {
+    throw std::invalid_argument("CampaignGen: duration too short for tail");
+  }
+  if (cfg_.time_grid <= 0) {
+    throw std::invalid_argument("CampaignGen: time_grid must be positive");
+  }
+}
+
+ChaosPlan CampaignGen::generate(std::uint64_t seed,
+                                const topo::Topology& topo) const {
+  Rng rng(seed);
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.duration = cfg_.duration;
+
+  const TimeNs lo = cfg_.period;                     // after first warm-up
+  const TimeNs hi = cfg_.duration - cfg_.settle_tail;
+  const auto snap = [&](TimeNs t) {
+    return (t / cfg_.time_grid) * cfg_.time_grid;
+  };
+  const auto pick_time = [&](TimeNs latest) {
+    return snap(rng.uniform_int(lo, std::max(lo, latest)));
+  };
+
+  // The weighted step menu, with pod-bounce removed on flat deployments.
+  std::vector<std::pair<std::string, int>> menu;
+  int total_weight = 0;
+  for (const auto& [name, weight] : cfg_.step_weights) {
+    if (weight <= 0) continue;
+    if (name == "pod-bounce" && cfg_.pods < 2) continue;
+    menu.emplace_back(name, weight);
+    total_weight += weight;
+  }
+  if (menu.empty() || total_weight == 0) return plan;
+
+  const auto pick_step = [&]() -> const std::string& {
+    int roll = static_cast<int>(rng.uniform_int(1, total_weight));
+    for (const auto& [name, weight] : menu) {
+      roll -= weight;
+      if (roll <= 0) return name;
+    }
+    return menu.back().first;
+  };
+
+  // Control-plane windows reserve the shared timeline; the generator tries a
+  // handful of placements and drops the event when the timeline is full
+  // (dense short campaigns), keeping every emitted plan valid.
+  std::vector<Window> reserved;
+  const auto reserve_window = [&](TimeNs len) -> TimeNs {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      if (hi - len < lo) return kNoTime;
+      const TimeNs start = snap(rng.uniform_int(lo, hi - len));
+      const TimeNs end = start + len + cfg_.window_spacing;
+      if (overlaps(reserved, start, end)) continue;
+      reserved.push_back({start, end});
+      return start;
+    }
+    return kNoTime;
+  };
+
+  const faults::FaultCatalog& catalog = faults::FaultCatalog::instance();
+  const int events =
+      static_cast<int>(rng.uniform_int(cfg_.min_events, cfg_.max_events));
+  int fault_idx = 0;
+  for (int i = 0; i < events; ++i) {
+    const std::string& step = pick_step();
+    if (step == "controller-bounce" || step == "analyzer-outage" ||
+        step == "pod-bounce") {
+      const TimeNs len =
+          snap(rng.uniform_int(cfg_.min_outage, cfg_.max_outage));
+      const TimeNs start = reserve_window(len);
+      if (start == kNoTime) continue;
+      if (step == "controller-bounce") {
+        plan.controller_crash(start).controller_restart(start + len);
+      } else if (step == "analyzer-outage") {
+        plan.analyzer_outage(start, start + len);
+      } else {
+        const std::size_t pod = rng.index(cfg_.pods);
+        plan.pod_analyzer_crash(start, pod)
+            .pod_analyzer_restart(start + len, pod);
+      }
+    } else if (step == "agent-restart") {
+      // A restart's silence shadow is short; reserve a point window so two
+      // restarts (or a restart inside an outage) don't stack.
+      const TimeNs at = reserve_window(0);
+      if (at == kNoTime) continue;
+      plan.agent_restart(
+          at, HostId{static_cast<std::uint32_t>(rng.index(topo.num_hosts()))});
+    } else {  // "inject"
+      const std::string& ctor =
+          cfg_.fault_ctors.at(rng.index(cfg_.fault_ctors.size()));
+      const faults::FaultCatalog::Entry* entry = catalog.find(ctor);
+      if (entry == nullptr) {
+        throw std::invalid_argument("CampaignGen: unknown fault ctor '" +
+                                    ctor + "'");
+      }
+      const TimeNs hold =
+          snap(rng.uniform_int(cfg_.min_fault_hold, cfg_.max_fault_hold));
+      const TimeNs at = pick_time(hi - hold);
+      const std::string label =
+          "f" + std::to_string(fault_idx++) + "-" + ctor;
+      plan.inject(at, label, entry->sample(rng, topo));
+      if (entry->clearable && rng.chance(cfg_.clear_fault_prob)) {
+        plan.clear(std::min(at + hold, hi), label);
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace rpm::chaos

@@ -1,0 +1,88 @@
+// chaos::CampaignGen — seeded random ChaosPlan generator (the ROADMAP's
+// "randomized chaos generator (seeded event times/targets + shrinking)").
+//
+// Samples a *valid* campaign from a weighted step catalog: controller
+// crash/restart pairs, Analyzer outage windows, Agent restarts, pod-Analyzer
+// bounces (federated deployments), and fault injections drawn from
+// faults::FaultCatalog. Validity constraints keep generated plans inside the
+// envelope the scoring rubric defines — the point is to randomize *within*
+// the supported behaviour space so every oracle violation is a real bug,
+// not a malformed plan:
+//
+//  * control-plane events serialize: each window (crash..restart,
+//    outage begin..end) reserves [start, end + window_spacing] on a shared
+//    timeline, so recovery from one event is observable before the next;
+//  * events land on a coarse time grid (deliberately colliding timestamps —
+//    the runner's insertion-order tie-break is part of what's under test);
+//  * everything lands in [period, duration - settle_tail]: the deployment
+//    has warmed up, and the tail leaves room for recovery scoring;
+//  * injected faults are cleared before the tail or left active to the end
+//    (both matchable states; a clear inside the tail would race scoring).
+//
+// Same (seed, config, topology) => identical plan, byte for byte through
+// plan_to_json — the fuzzer's reproducibility contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chaos/chaos.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "topo/topology.h"
+
+namespace rpm::chaos {
+
+struct CampaignGenConfig {
+  TimeNs duration = sec(120);
+  /// Analyzer period of the target deployment (aligns the settle math).
+  TimeNs period = sec(5);
+  /// Event times snap to this grid (collisions are intentional).
+  TimeNs time_grid = sec(1);
+  int min_events = 4;
+  int max_events = 9;
+  /// Pod count of the target deployment; < 2 disables pod-bounce steps.
+  std::size_t pods = 0;
+  TimeNs min_outage = sec(8);
+  TimeNs max_outage = sec(20);
+  /// Quiet tail before `duration` reserved for recovery scoring.
+  TimeNs settle_tail = sec(35);
+  /// Gap reserved after each control-plane window before the next may start.
+  TimeNs window_spacing = sec(15);
+  TimeNs min_fault_hold = sec(15);
+  TimeNs max_fault_hold = sec(30);
+  /// Probability a clearable fault gets a mid-campaign clear() step (the
+  /// rest stay active to the end).
+  double clear_fault_prob = 0.6;
+  /// Weighted step menu. Names: "controller-bounce", "analyzer-outage",
+  /// "agent-restart", "pod-bounce", "inject".
+  std::vector<std::pair<std::string, int>> step_weights = {
+      {"controller-bounce", 2}, {"analyzer-outage", 2},
+      {"agent-restart", 2},     {"pod-bounce", 2},
+      {"inject", 5},
+  };
+  /// FaultCatalog constructors the "inject" step draws from. Defaults to
+  /// the set whose verdicts the scoring rubric fully attributes.
+  std::vector<std::string> fault_ctors = {
+      "host-down",     "corruption",          "rnic-down",
+      "cpu-overload",  "agent-cpu-occupation", "control-plane-degradation",
+  };
+};
+
+class CampaignGen {
+ public:
+  explicit CampaignGen(CampaignGenConfig cfg = {});
+
+  /// Deterministic: same (seed, config, topology) => identical plan.
+  [[nodiscard]] ChaosPlan generate(std::uint64_t seed,
+                                   const topo::Topology& topo) const;
+
+  [[nodiscard]] const CampaignGenConfig& config() const { return cfg_; }
+
+ private:
+  CampaignGenConfig cfg_;
+};
+
+}  // namespace rpm::chaos

@@ -1,0 +1,36 @@
+// ChaosPlan <-> JSON. The serialization that makes chaos campaigns
+// artifacts instead of code: the fuzzer's minimized counterexamples land in
+// tests/chaos_corpus/ as plan JSON and are replayed byte-for-byte by ctest.
+//
+// Schema (all times in nanoseconds):
+//   {
+//     "duration_ns": 120000000000,
+//     "seed": 7,
+//     "match_grace_ns": 30000000000,
+//     "outage_grace_ns": 30000000000,
+//     "steps": [
+//       {"kind": "controller-crash", "at_ns": 20000000000},
+//       {"kind": "inject", "at_ns": 30000000000, "label": "corr",
+//        "spec": {"ctor": "corruption", "link": 12, "prob": 0.5}},
+//       {"kind": "clear", "at_ns": 60000000000, "clear_ref": "corr"},
+//       ...
+//     ]
+//   }
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "chaos/chaos.h"
+#include "common/json.h"
+
+namespace rpm::chaos {
+
+json::Value plan_to_value(const ChaosPlan& plan);
+std::string plan_to_json(const ChaosPlan& plan);  // pretty, trailing newline
+
+/// Throws std::runtime_error / std::invalid_argument on malformed input.
+ChaosPlan plan_from_value(const json::Value& v);
+ChaosPlan plan_from_json(std::string_view text);
+
+}  // namespace rpm::chaos

@@ -111,6 +111,9 @@ void AnalysisCore::fill_checkpoint(AnalyzerCheckpoint& cp) const {
   cp.rnic_blamed_until.assign(rnic_blamed_until_.begin(),
                               rnic_blamed_until_.end());
   std::sort(cp.rnic_blamed_until.begin(), cp.rnic_blamed_until.end());
+  cp.host_noise_until.assign(host_noise_until_.begin(),
+                             host_noise_until_.end());
+  std::sort(cp.host_noise_until.begin(), cp.host_noise_until.end());
 }
 
 void AnalysisCore::restore(const AnalyzerCheckpoint& cp) {
@@ -124,12 +127,16 @@ void AnalysisCore::restore(const AnalyzerCheckpoint& cp) {
   rnic_blamed_until_.clear();
   rnic_blamed_until_.insert(cp.rnic_blamed_until.begin(),
                             cp.rnic_blamed_until.end());
+  host_noise_until_.clear();
+  host_noise_until_.insert(cp.host_noise_until.begin(),
+                           cp.host_noise_until.end());
 }
 
 void AnalysisCore::reset_volatile() {
   last_upload_.clear();
   known_hosts_.clear();
   rnic_blamed_until_.clear();
+  host_noise_until_.clear();
   history_.clear();
   diagnosis_.clear();
   next_evidence_id_ = 1;
@@ -292,6 +299,7 @@ const PeriodReport& AnalysisCore::analyze_period(
     fed->foreign.clear();
     fed->down_hosts.clear();
     fed->blamed_rnics.clear();
+    fed->cpu_noise_hosts.clear();
     fed->cluster_sla = SlaDigest{};
     fed->service_slas.clear();
     fed->service_nets.clear();
@@ -477,11 +485,15 @@ const PeriodReport& AnalysisCore::analyze_period(
   // Agents' folded per-target delay sketches, then raw outlier records merge
   // in on top.
   std::unordered_map<std::uint32_t, DelayStat> ok_delay_by_rnic;
+  std::unordered_map<std::uint32_t, DelayStat> host_ok_delay;
   if (sk_on) {
     for (const auto& [rid, sk] : summary.ok_delay_by_target) {
       DelayStat& st = ok_delay_by_rnic[rid];
       st.use_sketch = true;
       st.sk.merge(sk);
+      DelayStat& hs = host_ok_delay[topo_.rnic(RnicId{rid}).host.value];
+      hs.use_sketch = true;
+      hs.sk.merge(sk);
     }
   }
   for (const ProbeRecord& r : records) {
@@ -489,6 +501,10 @@ const PeriodReport& AnalysisCore::analyze_period(
       auto [sit, inserted] = ok_delay_by_rnic.try_emplace(r.target.value);
       if (inserted) sit->second.use_sketch = sk_on;
       sit->second.add(static_cast<double>(r.responder_delay));
+      auto [hit, hinserted] =
+          host_ok_delay.try_emplace(topo_.rnic(r.target).host.value);
+      if (hinserted) hit->second.use_sketch = sk_on;
+      hit->second.add(static_cast<double>(r.responder_delay));
     }
   }
 
@@ -514,7 +530,23 @@ const PeriodReport& AnalysisCore::analyze_period(
             st.percentile(0.9) >
                 static_cast<double>(cfg_.starve_delay_threshold);
       }
-      if (multi_rnic_simultaneous || starved_responder) {
+      // Third Fig. 6 signal: responder processing delay (④-③) is purely
+      // host-side — a switch or link fault times probes out but leaves the
+      // delay of the probes that DID complete at the µs scale. An anomalous
+      // RNIC on a host whose completed probes show bottleneck-scale delays
+      // is therefore the service starving the Agent, even when only one of
+      // the host's RNICs crossed the timeout threshold and the per-RNIC p90
+      // sits below the starve bar.
+      bool starved_host = false;
+      if (auto hit = host_ok_delay.find(h.value);
+          hit != host_ok_delay.end()) {
+        auto& st = hit->second;
+        starved_host =
+            st.count() >= 3 &&
+            st.percentile(0.9) >
+                static_cast<double>(cfg_.high_proc_delay_threshold);
+      }
+      if (multi_rnic_simultaneous || starved_responder || starved_host) {
         cpu_noise_hosts.insert(h.value);
         it = anomalous_rnics.erase(it);
       } else {
@@ -527,6 +559,40 @@ const PeriodReport& AnalysisCore::analyze_period(
   for (std::uint32_t r : anomalous_rnics) {
     rnic_blamed_until_[r] = now + cfg_.rnic_blame_window;
   }
+  // Noise hangover: a host the Fig. 6 filter flagged keeps filtering for
+  // cpu_noise_window. The starved prober's observation backlog produces
+  // straggler timeout records for several periods after the service lets
+  // go of the CPU; without the hangover those stragglers reach Algorithm-1
+  // voting and fabricate a switch problem.
+  for (std::uint32_t h : cpu_noise_hosts) {
+    host_noise_until_[h] = now + cfg_.cpu_noise_window;
+  }
+  // Attribution-only starvation evidence: a host whose completed probes
+  // show bottleneck-scale responder delay is the prime suspect for its own
+  // timeouts even when no single RNIC crossed the timeout-ratio threshold
+  // (e.g. the fault landed mid-period and the ratio sits at the bar). Its
+  // timeouts stay out of fabric attribution, but verdict emission is
+  // untouched: a merely-overloaded host still gets its end-host-bottleneck
+  // problem, not a noise verdict. P99, not P90: after an Analyzer restart
+  // the period folds in a healthy backlog that buries the starvation tail
+  // below the 90th percentile (a healthy host's P99 sits at the µs scale,
+  // three orders of magnitude under the threshold, so P99 stays specific).
+  std::unordered_set<std::uint32_t> starved_hosts;
+  if (cfg_.enable_cpu_noise_filters) {
+    for (auto& [h, st] : host_ok_delay) {
+      if (st.count() >= 3 &&
+          st.percentile(0.99) >
+              static_cast<double>(cfg_.high_proc_delay_threshold)) {
+        starved_hosts.insert(h);
+      }
+    }
+  }
+  const auto noisy_host = [&](HostId h) {
+    if (cpu_noise_hosts.contains(h.value)) return true;
+    if (starved_hosts.contains(h.value)) return true;
+    const auto it = host_noise_until_.find(h.value);
+    return it != host_noise_until_.end() && it->second >= rep.period_start;
+  };
   const auto blamed = [&](RnicId r) {
     if (anomalous_rnics.contains(r.value)) return true;
     const auto it = rnic_blamed_until_.find(r.value);
@@ -537,6 +603,24 @@ const PeriodReport& AnalysisCore::analyze_period(
       if (until >= rep.period_start) fed->blamed_rnics.emplace_back(r, until);
     }
     std::sort(fed->blamed_rnics.begin(), fed->blamed_rnics.end());
+    fed->cpu_noise_hosts.assign(cpu_noise_hosts.begin(),
+                                cpu_noise_hosts.end());
+    // The hangover and the attribution-only starvation evidence travel
+    // too: the global tier triages foreign timeouts against the union of
+    // every pod's noise state, stragglers included.
+    for (const auto& [h, until] : host_noise_until_) {
+      if (until >= rep.period_start && !cpu_noise_hosts.contains(h)) {
+        fed->cpu_noise_hosts.push_back(h);
+      }
+    }
+    for (std::uint32_t h : starved_hosts) {
+      if (!cpu_noise_hosts.contains(h) &&
+          (!host_noise_until_.contains(h) ||
+           host_noise_until_[h] < rep.period_start)) {
+        fed->cpu_noise_hosts.push_back(h);
+      }
+    }
+    std::sort(fed->cpu_noise_hosts.begin(), fed->cpu_noise_hosts.end());
   }
 
   // ---- step 3: attribute the remaining timeouts ----
@@ -549,8 +633,7 @@ const PeriodReport& AnalysisCore::analyze_period(
     // A starved Agent corrupts probes in BOTH directions: its responder
     // never ACKs (timeouts to it) and its prober thread observes â¥ too
     // late (timeouts from it). Exclude both from network localization.
-    if (cpu_noise_hosts.contains(target_host.value) ||
-        cpu_noise_hosts.contains(r.prober_host.value)) {
+    if (noisy_host(target_host) || noisy_host(r.prober_host)) {
       cause[i] = AnomalyCause::kAgentCpuNoise;
     } else if (blamed(r.target) || blamed(r.prober)) {
       cause[i] = AnomalyCause::kRnicProblem;
@@ -643,8 +726,7 @@ const PeriodReport& AnalysisCore::analyze_period(
       case AnomalyCause::kAgentCpuNoise: {
         ++rep.timeouts_agent_cpu;
         const std::uint32_t th = topo_.rnic(r.target).host.value;
-        cpu_noise_ids[cpu_noise_hosts.contains(th) ? th
-                                                   : r.prober_host.value]
+        cpu_noise_ids[noisy_host(HostId{th}) ? th : r.prober_host.value]
             .push_back(r.id);
         break;
       }
@@ -728,8 +810,8 @@ const PeriodReport& AnalysisCore::analyze_period(
     obs::EvidenceChain c;
     c.verdict = "agent-cpu-noise";
     c.triage_branch =
-        "timeout-triage: Fig. 6 filter (multi-RNIC simultaneous timeouts "
-        "or starved responder delays)";
+        "timeout-triage: Fig. 6 filter (multi-RNIC simultaneous timeouts, "
+        "starved responder delays, or host-level processing-delay tail)";
     double worst_p90 = 0.0;
     for (auto& [rid, st] : ok_delay_by_rnic) {
       if (topo_.rnic(RnicId{rid}).host.value == h && st.count() > 0) {
@@ -739,6 +821,12 @@ const PeriodReport& AnalysisCore::analyze_period(
     add_threshold(c, "starve_delay_threshold_ns",
                   static_cast<double>(cfg_.starve_delay_threshold),
                   worst_p90);
+    if (auto hit = host_ok_delay.find(h); hit != host_ok_delay.end() &&
+                                          hit->second.count() > 0) {
+      add_threshold(c, "high_proc_delay_threshold_ns",
+                    static_cast<double>(cfg_.high_proc_delay_threshold),
+                    hit->second.percentile(0.9));
+    }
     if (const auto idit = cpu_noise_ids.find(h);
         idit != cpu_noise_ids.end()) {
       for (std::uint64_t id : idit->second) add_probe(c, id);

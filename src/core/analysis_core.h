@@ -72,6 +72,12 @@ struct AnalyzerConfig {
   TimeNs high_rtt_threshold = usec(500);       // congestion flag
   TimeNs high_proc_delay_threshold = msec(5);  // CPU-overload flag
   TimeNs starve_delay_threshold = msec(100);   // Fig. 6 responder-delay test
+  // Once the Fig. 6 filter flags a host, keep filtering its timeouts as
+  // agent-CPU noise for this long: a starved prober drains its observation
+  // backlog for several periods after the service releases the CPU, and
+  // those straggler records must not reach Algorithm-1 voting. Mirrors the
+  // §5 rnic_blame_window hangover on the noise side.
+  TimeNs cpu_noise_window = sec(60);
   double degradation_threshold = 0.5;          // metric below => severe (P0)
   bool enable_cpu_noise_filters = true;        // Fig. 6 improvements
   std::size_t history_limit = 512;
@@ -108,6 +114,7 @@ struct FederationScratch {
   std::vector<ForeignTimeout> foreign;
   std::vector<std::uint32_t> down_hosts;                           // sorted
   std::vector<std::pair<std::uint32_t, TimeNs>> blamed_rnics;      // sorted
+  std::vector<std::uint32_t> cpu_noise_hosts;                      // sorted
   SlaDigest cluster_sla;
   std::vector<std::pair<std::uint32_t, SlaDigest>> service_slas;   // sorted
   std::vector<ServiceNetDigest> service_nets;                      // sorted
@@ -227,6 +234,9 @@ class AnalysisCore {
   std::unordered_map<std::uint32_t, TimeNs> last_upload_;  // by host id
   std::unordered_set<std::uint32_t> known_hosts_;
   std::unordered_map<std::uint32_t, TimeNs> rnic_blamed_until_;
+  // Fig. 6 noise hangover: host id -> filtered-as-noise until (see
+  // AnalyzerConfig::cpu_noise_window). Journaled like rnic_blamed_until_.
+  std::unordered_map<std::uint32_t, TimeNs> host_noise_until_;
   std::vector<ServiceBinding> services_;
   std::deque<PeriodReport> history_;
   // One DiagnosisLog per period, trimmed in lockstep with history_.

@@ -65,6 +65,7 @@ std::size_t pod_digest_wire_bytes(const PodDigest& d) {
   b += 5 * 8;                         // timeout tallies
   b += 8 + d.down_hosts.size() * 4;
   b += 8 + d.blamed_rnics.size() * (4 + 8);
+  b += 8 + d.cpu_noise_hosts.size() * 4;
   b += 8;
   for (const Problem& p : d.problems) b += problem_wire_bytes(p);
   b += 8;

@@ -94,6 +94,11 @@ struct PodDigest {
   // pods' foreign timeouts. Sorted by id for deterministic merging.
   std::vector<std::uint32_t> down_hosts;
   std::vector<std::pair<std::uint32_t, TimeNs>> blamed_rnics;  // blamed until
+  // Hosts the pod's Fig. 6 filter flagged as agent-CPU noise this period:
+  // cross-pod probes to them timed out because the service starved the
+  // Agent, not because of the fabric — the global triage must not let them
+  // reach Algorithm-1 voting.
+  std::vector<std::uint32_t> cpu_noise_hosts;  // sorted
 
   // Locally-attributed timeout tallies (foreign ones excluded — the global
   // tier classifies those and adds its own tallies on top).

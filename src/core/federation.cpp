@@ -94,6 +94,7 @@ void PodAnalyzer::on_period(const PeriodReport& rep,
   // copy.
   d.down_hosts = std::move(scratch_.down_hosts);
   d.blamed_rnics = std::move(scratch_.blamed_rnics);
+  d.cpu_noise_hosts = std::move(scratch_.cpu_noise_hosts);
   d.foreign = std::move(scratch_.foreign);
   d.cluster_sla = std::move(scratch_.cluster_sla);
   d.service_slas = std::move(scratch_.service_slas);
@@ -363,12 +364,14 @@ const PeriodReport& GlobalAnalyzer::merge_now() {
   // ---- union of pod liveness/blame state ----
   std::unordered_set<std::uint32_t> down;
   std::unordered_map<std::uint32_t, TimeNs> blamed;  // rnic -> max until
+  std::unordered_set<std::uint32_t> cpu_noise;
   for (const PodDigest& d : digests) {
     for (std::uint32_t h : d.down_hosts) down.insert(h);
     for (const auto& [r, until] : d.blamed_rnics) {
       TimeNs& u = blamed[r];
       u = std::max(u, until);
     }
+    for (std::uint32_t h : d.cpu_noise_hosts) cpu_noise.insert(h);
   }
 
   // ---- triage of the deferred foreign timeouts ----
@@ -388,6 +391,15 @@ const PeriodReport& GlobalAnalyzer::merge_now() {
         // The owning pod's digest already carries the host-down Problem;
         // here the probe just stops polluting network attribution.
         ++rep.timeouts_host_down;
+        continue;
+      }
+      if (cpu_noise.contains(f.target_host.value) ||
+          cpu_noise.contains(f.prober_host.value)) {
+        // The owning pod's Fig. 6 filter flagged the host: the service is
+        // starving its Agent, so cross-pod probes to it time out without
+        // any fabric fault. The pod's digest already carries the noise
+        // verdict — here the probe just stays out of Algorithm-1 voting.
+        ++rep.timeouts_agent_cpu;
         continue;
       }
       const auto bt = blamed.find(f.target.value);

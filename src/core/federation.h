@@ -157,6 +157,13 @@ class GlobalAnalyzer {
   [[nodiscard]] std::uint64_t duplicate_digests() const {
     return duplicate_digests_;
   }
+  /// Highest digest seq accepted from `pod` (0 when none seen) — the chaos
+  /// oracle checks it never exceeds what the pod actually sent, i.e. a
+  /// journal restore never fabricates or reuses a sequence number.
+  [[nodiscard]] std::uint64_t max_digest_seq(std::uint32_t pod) const {
+    auto it = digest_dedup_.find(pod);
+    return it == digest_dedup_.end() ? 0 : it->second.max_seq;
+  }
 
   /// Journal under role "global": checkpoints hold the per-pod digest dedup
   /// windows + period boundary + id counters; aged-out DiagnosisLogs spill

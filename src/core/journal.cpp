@@ -1,10 +1,35 @@
 #include "core/journal.h"
 
+#include <array>
 #include <stdexcept>
+
+#include "telemetry/metrics.h"
 
 namespace rpm::core {
 
 namespace {
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), software table. Guards the
+/// checkpoint encoding against bit rot, not just truncation: a real
+/// deployment fsyncs these bytes to disk and reads them back after a crash.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -102,6 +127,7 @@ std::vector<std::pair<std::uint32_t, TimeNs>> get_id_times(
 
 void encode_checkpoint(const AnalyzerCheckpoint& cp,
                        std::vector<std::uint8_t>& out) {
+  const std::size_t base = out.size();
   put_time(out, cp.last_period_end);
   put_u64(out, cp.next_problem_id);
   put_u64(out, cp.next_evidence_id);
@@ -109,12 +135,22 @@ void encode_checkpoint(const AnalyzerCheckpoint& cp,
   put_u64(out, cp.known_hosts.size());
   for (std::uint32_t h : cp.known_hosts) put_u32(out, h);
   put_id_times(out, cp.rnic_blamed_until);
+  put_id_times(out, cp.host_noise_until);
   put_ingest(out, cp.ingest);
   put_u64(out, cp.digest_seq);
   put_ingest(out, cp.digest_dedup);
+  put_u32(out, crc32(out.data() + base, out.size() - base));
 }
 
 AnalyzerCheckpoint decode_checkpoint(const std::vector<std::uint8_t>& in) {
+  if (in.size() < 4) {
+    throw std::runtime_error("AnalyzerCheckpoint: truncated input");
+  }
+  const std::size_t payload = in.size() - 4;
+  std::size_t tail = payload;
+  if (get_u32(in, tail) != crc32(in.data(), payload)) {
+    throw std::runtime_error("AnalyzerCheckpoint: checksum mismatch");
+  }
   AnalyzerCheckpoint cp;
   std::size_t off = 0;
   cp.last_period_end = get_time(in, off);
@@ -127,10 +163,11 @@ AnalyzerCheckpoint decode_checkpoint(const std::vector<std::uint8_t>& in) {
     cp.known_hosts.push_back(get_u32(in, off));
   }
   cp.rnic_blamed_until = get_id_times(in, off);
+  cp.host_noise_until = get_id_times(in, off);
   cp.ingest = get_ingest(in, off);
   cp.digest_seq = get_u64(in, off);
   cp.digest_dedup = get_ingest(in, off);
-  if (off != in.size()) {
+  if (off != payload) {
     throw std::runtime_error("AnalyzerCheckpoint: trailing bytes");
   }
   return cp;
@@ -147,7 +184,30 @@ std::optional<AnalyzerCheckpoint> StateJournal::load_checkpoint(
     const std::string& role) const {
   auto it = checkpoints_.find(role);
   if (it == checkpoints_.end()) return std::nullopt;
-  return decode_checkpoint(it->second);
+  try {
+    return decode_checkpoint(it->second);
+  } catch (const std::runtime_error&) {
+    // A corrupt checkpoint must not take the Analyzer down with it: the
+    // restart path treats nullopt as a clean start (losing dedup windows is
+    // recoverable; crashing the restart loop is not).
+    ++corrupt_total_;
+    telemetry::registry()
+        .counter("rpm_journal_corrupt_total",
+                 "Checkpoints rejected at decode (CRC or structure)",
+                 {{"role", role}})
+        .inc();
+    return std::nullopt;
+  }
+}
+
+bool StateJournal::corrupt_checkpoint(const std::string& role,
+                                      std::size_t bit) {
+  auto it = checkpoints_.find(role);
+  if (it == checkpoints_.end() || it->second.empty()) return false;
+  std::vector<std::uint8_t>& bytes = it->second;
+  bit %= bytes.size() * 8;
+  bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  return true;
 }
 
 std::size_t StateJournal::checkpoint_bytes(const std::string& role) const {

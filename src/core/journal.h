@@ -50,13 +50,15 @@ struct AnalyzerCheckpoint {
   std::vector<std::pair<std::uint32_t, TimeNs>> last_upload;  // by host, asc
   std::vector<std::uint32_t> known_hosts;                     // ascending
   std::vector<std::pair<std::uint32_t, TimeNs>> rnic_blamed_until;  // asc
+  std::vector<std::pair<std::uint32_t, TimeNs>> host_noise_until;   // asc
   IngestCheckpoint ingest;
   std::uint64_t digest_seq = 0;
   IngestCheckpoint digest_dedup;  // "host" field holds the pod id
 };
 
-/// Canonical byte codec (little-endian, length-prefixed vectors). Same
-/// state => same bytes; decode throws std::runtime_error on truncation.
+/// Canonical byte codec (little-endian, length-prefixed vectors, CRC32
+/// trailer). Same state => same bytes; decode throws std::runtime_error on
+/// truncation or checksum mismatch (bit flips, not just short reads).
 void encode_checkpoint(const AnalyzerCheckpoint& cp,
                        std::vector<std::uint8_t>& out);
 AnalyzerCheckpoint decode_checkpoint(const std::vector<std::uint8_t>& in);
@@ -77,10 +79,19 @@ class StateJournal {
   /// is stored encoded; load_checkpoint() decodes it back, so every save /
   /// load pair exercises the wire codec.
   void save_checkpoint(const std::string& role, const AnalyzerCheckpoint& cp);
+  /// Decode the stored checkpoint. A checkpoint that fails to decode (CRC
+  /// mismatch or structural damage) is reported as nullopt — the restart
+  /// path's clean-start branch — and counted in corrupt_total() plus the
+  /// `rpm_journal_corrupt_total` metric; it is never re-thrown.
   [[nodiscard]] std::optional<AnalyzerCheckpoint> load_checkpoint(
       const std::string& role) const;
   /// Size of the stored encoding (0 when absent) — bench/diagnostics.
   [[nodiscard]] std::size_t checkpoint_bytes(const std::string& role) const;
+  /// Chaos/test hook: flip one bit (modulo the encoding size) of the stored
+  /// checkpoint, simulating at-rest corruption. False when `role` is absent.
+  bool corrupt_checkpoint(const std::string& role, std::size_t bit);
+  /// Checkpoints rejected at decode since construction.
+  [[nodiscard]] std::uint64_t corrupt_total() const { return corrupt_total_; }
 
   // ---- DiagnosisLog archive ----
 
@@ -96,6 +107,7 @@ class StateJournal {
 
  private:
   Config cfg_;
+  mutable std::uint64_t corrupt_total_ = 0;
   std::unordered_map<std::string, std::vector<std::uint8_t>> checkpoints_;
   std::unordered_map<std::string, std::deque<obs::DiagnosisLog>> archives_;
 };

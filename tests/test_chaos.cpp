@@ -76,15 +76,10 @@ ChaosPlan acceptance_plan(std::uint64_t seed, LinkId fabric_link) {
       .agent_restart(sec(32), HostId{1})
       .controller_restart(sec(50))
       .analyzer_outage(sec(55), sec(73))
-      .inject(sec(75), "host3-down",
-              [](faults::FaultInjector& inj) {
-                return inj.inject_host_down(HostId{3});
-              })
+      .inject(sec(75), "host3-down", faults::FaultSpec::host_down(HostId{3}))
       .clear(sec(95), "host3-down")
       .inject(sec(100), "fabric-corruption",
-              [fabric_link](faults::FaultInjector& inj) {
-                return inj.inject_corruption(fabric_link, 0.5);
-              });
+              faults::FaultSpec::corruption(fabric_link, 0.5));
   return plan;
 }
 
@@ -252,7 +247,8 @@ TEST(Chaos, StepNamesAndPlanValidation) {
                "analyzer-outage-end");
   ChaosPlan plan;
   EXPECT_THROW(plan.analyzer_outage(sec(10), sec(10)), std::invalid_argument);
-  EXPECT_THROW(plan.inject(sec(1), "x", nullptr), std::invalid_argument);
+  EXPECT_THROW(plan.inject(sec(1), "x", faults::FaultSpec{}),
+               std::invalid_argument);
 }
 
 TEST(Chaos, ClearOfUnknownLabelThrows) {

@@ -104,14 +104,9 @@ ChaosPlan failover_plan(std::uint64_t seed, LinkId fabric_link,
     plan.pod_analyzer_crash(sec(57), 1);  // mid-drain for pod 1
     plan.pod_analyzer_restart(sec(68), 1);
   }
-  plan.inject(sec(80), "host3-down",
-              [](faults::FaultInjector& inj) {
-                return inj.inject_host_down(HostId{3});
-              })
+  plan.inject(sec(80), "host3-down", faults::FaultSpec::host_down(HostId{3}))
       .inject(sec(105), "fabric-corruption",
-              [fabric_link](faults::FaultInjector& inj) {
-                return inj.inject_corruption(fabric_link, 0.5);
-              });
+              faults::FaultSpec::corruption(fabric_link, 0.5));
   return plan;
 }
 

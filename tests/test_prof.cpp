@@ -319,9 +319,7 @@ std::string campaign_report(bool profiler_on) {
     }
   }
   plan.inject(sec(40), "fabric-corruption",
-              [fabric_link](faults::FaultInjector& inj) {
-                return inj.inject_corruption(fabric_link, 0.5);
-              });
+              faults::FaultSpec::corruption(fabric_link, 0.5));
 
   chaos::ChaosRunner runner(cluster, rpm, injector);
   const std::string report = runner.run(plan).to_json();

@@ -128,6 +128,47 @@ TEST_F(TransportTest, BackoffIsCappedAtMaxRetryTimeout) {
   EXPECT_EQ(expired_at, msec(70));
 }
 
+TEST_F(TransportTest, RetryExhaustionUnderTotalLossWithJitterAndCap) {
+  // The edge the two tests above leave open: jitter + backoff cap + attempt
+  // cap together. Under 100% loss every retransmit timer must stay within
+  // [capped backoff, capped backoff + retry_jitter], the message must stop
+  // at max_attempts (not retry forever), and exactly one `expired` is
+  // counted with the payload handed back through on_expire.
+  ChannelConfig cfg = lossless();
+  cfg.loss_prob = 1.0;
+  cfg.max_attempts = 5;
+  cfg.retry_timeout = msec(10);
+  cfg.retry_backoff = 3.0;
+  cfg.max_retry_timeout = msec(25);
+  cfg.retry_jitter = msec(2);
+
+  TimeNs expired_at = -1;
+  std::string expired_body;
+  Channel& ch = cp_.make_channel(
+      "t.exhaust", [](std::uint64_t, std::any&) { FAIL(); }, cfg);
+  ch.set_on_expire([&](std::uint64_t, std::any& p) {
+    expired_at = sched_.now();
+    expired_body = std::any_cast<std::string>(p);
+  });
+
+  ch.send(std::any(std::string("exhausted")));
+  sched_.run_until(sec(10));
+
+  // One timer per attempt (the last declares expiry): 10 ms, then
+  // 30/90/270/810 ms all capped at 25 ms, each + [0, 2] ms of jitter ->
+  // expiry in [110, 120] ms. No timer may exceed cap + jitter.
+  EXPECT_GE(expired_at, msec(110));
+  EXPECT_LE(expired_at, msec(110) + 5 * cfg.retry_jitter);
+  EXPECT_EQ(expired_body, "exhausted");
+  const auto& c = ch.counters();
+  EXPECT_EQ(c.sent, 1u);
+  EXPECT_EQ(c.lost, 5u);     // one transmission per attempt, all eaten
+  EXPECT_EQ(c.retries, 4u);  // attempts 2..5
+  EXPECT_EQ(c.expired, 1u);
+  EXPECT_EQ(c.delivered, 0u);
+  EXPECT_EQ(ch.in_flight(), 0u);  // nothing left armed after give-up
+}
+
 TEST_F(TransportTest, FullWindowDropsOldestMessage) {
   ChannelConfig cfg = lossless();
   cfg.max_in_flight = 2;
