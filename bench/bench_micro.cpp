@@ -66,7 +66,7 @@ BENCHMARK(BM_EcmpResolve);
 void BM_FabricSend(benchmark::State& state) {
   const topo::Topology topo = topo::build_clos(bench_clos());
   const routing::EcmpRouter router(topo);
-  sim::EventScheduler sched;
+  sim::InlineScheduler sched;
   fabric::Fabric fab(topo, router, sched);
   fabric::Datagram d;
   d.src = RnicId{0};
@@ -84,7 +84,7 @@ BENCHMARK(BM_FabricSend);
 void BM_FluidStep(benchmark::State& state) {
   const topo::Topology topo = topo::build_clos(bench_clos());
   const routing::EcmpRouter router(topo);
-  sim::EventScheduler sched;
+  sim::InlineScheduler sched;
   fabric::Fabric fab(topo, router, sched);
   // A realistic flow population.
   const auto flows = static_cast<std::uint32_t>(state.range(0));
@@ -118,7 +118,7 @@ BENCHMARK(BM_Equation1)->Arg(4)->Arg(32)->Arg(128);
 void BM_AnalyzerPeriod(benchmark::State& state) {
   const topo::Topology topo = topo::build_clos(bench_clos());
   const routing::EcmpRouter router(topo);
-  sim::EventScheduler sched;
+  sim::InlineScheduler sched;
   core::Controller ctrl(topo, router);
   // Register everything so QPN checks hit the registry.
   for (const topo::HostInfo& h : topo.hosts()) {
@@ -164,7 +164,7 @@ BENCHMARK(BM_AnalyzerPeriod)->Arg(10000)->Arg(50000);
 // send + scheduled delivery + handler + ack + (no-op) retry timer — the
 // events every Agent upload and Controller RPC pays.
 void BM_TransportSendDeliver(benchmark::State& state) {
-  sim::EventScheduler sched;
+  sim::InlineScheduler sched;
   transport::ControlPlane cp(sched, Rng(9));
   std::uint64_t delivered = 0;
   transport::Channel& ch = cp.make_channel(
@@ -184,7 +184,7 @@ BENCHMARK(BM_TransportSendDeliver);
 // and expire, then the peer recovers and a fresh send delivers — the path
 // every Agent upload channel takes through an Analyzer brownout.
 void BM_TransportPeerOutage(benchmark::State& state) {
-  sim::EventScheduler sched;
+  sim::InlineScheduler sched;
   transport::ControlPlane cp(sched, Rng(9));
   std::uint64_t delivered = 0;
   transport::Channel& ch = cp.make_channel(
@@ -207,7 +207,7 @@ BENCHMARK(BM_TransportPeerOutage);
 void BM_AnalyzerShardedIngest(benchmark::State& state) {
   const topo::Topology topo = topo::build_clos(bench_clos());
   const routing::EcmpRouter router(topo);
-  sim::EventScheduler sched;
+  sim::InlineScheduler sched;
   core::Controller ctrl(topo, router);
   core::AnalyzerConfig cfg;
   cfg.ingest.shards = static_cast<std::size_t>(state.range(0));

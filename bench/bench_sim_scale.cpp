@@ -1,0 +1,360 @@
+// bench_sim_scale: event-loop throughput of the partitioned parallel
+// scheduler vs the single-queue InlineScheduler baseline.
+//
+// Workload: one self-rescheduling probe actor per host of a Clos topology,
+// assigned to its pod's partition (topo::build_pod_partitions). Every event
+// burns a fixed deterministic compute kernel (xorshift rounds — standing in
+// for probe matching, classification, and counter updates), re-arms itself
+// one interval later, and every `cross_every`-th firing posts a cross-pod
+// event to a peer host one fabric RTT away — so the conservative windows
+// carry real cross-cut traffic through the per-edge inboxes.
+//
+// Two throughput numbers per cell, both reported to BENCH_sim.json:
+//   * events_per_sec      — wall clock on THIS machine, with
+//                           workers = min(partitions, hardware threads).
+//   * cp_events_per_sec   — critical-path throughput: events divided by
+//                           (sum over windows of the slowest partition's
+//                           drain + inbox merges), the wall-time bound with
+//                           one core per partition
+//                           (ParallelConfig::measure_critical_path). On a
+//                           multi-core runner wall speedup approaches this;
+//                           on a single-core box only cp_speedup can show
+//                           the partitioning win. `cores` in params says
+//                           which regime produced the file.
+//
+// Usage:
+//   bench_sim_scale [--hosts 1024,10240] [--partitions 1,2,4,8]
+//                   [--interval-us 200] [--duration-ms 10]
+//                   [--work-rounds 96] [--out BENCH_sim.json]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/parallel.h"
+#include "sim/scheduler.h"
+#include "topo/partition.h"
+#include "topo/topology.h"
+
+namespace rpm::bench {
+namespace {
+
+std::vector<std::uint64_t> parse_list(const char* s) {
+  std::vector<std::uint64_t> out;
+  std::uint64_t cur = 0;
+  bool have = false;
+  for (const char* p = s;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      cur = cur * 10 + static_cast<std::uint64_t>(*p - '0');
+      have = true;
+    } else {
+      if (have) out.push_back(cur);
+      cur = 0;
+      have = false;
+      if (*p == '\0') break;
+    }
+  }
+  return out;
+}
+
+/// A Clos shape with approximately `hosts` hosts across 8 pods. The fabric
+/// tier's propagation delay is the cut-edge lookahead, so wide windows —
+/// realistic for pod-scale fabrics (tens of microseconds of fiber).
+topo::ClosConfig clos_for_hosts(std::uint64_t hosts) {
+  topo::ClosConfig cfg;
+  cfg.num_pods = 8;
+  cfg.tors_per_pod = hosts >= 100000 ? 16 : hosts >= 10000 ? 8 : 4;
+  cfg.aggs_per_pod = 2;
+  cfg.spines_per_plane = 2;
+  cfg.rnics_per_host = 1;
+  const std::uint64_t tors = cfg.num_pods * cfg.tors_per_pod;
+  cfg.hosts_per_tor = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, hosts / tors));
+  cfg.host_link.capacity_gbps = 100.0;
+  cfg.fabric_link.capacity_gbps = 100.0;
+  cfg.fabric_link.propagation = usec(5);  // cut-edge lookahead = 5 us
+  return cfg;
+}
+
+/// Deterministic per-event compute kernel.
+inline std::uint64_t spin(std::uint64_t x, std::uint32_t rounds) {
+  for (std::uint32_t i = 0; i < rounds; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+struct CellResult {
+  std::uint64_t hosts = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t workers = 0;
+  std::uint64_t events = 0;
+  std::uint64_t cross = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t cp_ns = 0;  // critical path (== wall_ns for the baseline)
+};
+
+struct Knobs {
+  TimeNs interval = usec(200);
+  TimeNs duration = msec(10);
+  std::uint32_t work_rounds = 96;
+  std::uint32_t cross_every = 8;
+};
+
+/// Per-host actor state; `sink` defeats dead-code elimination.
+struct Actor {
+  sim::Scheduler* sched = nullptr;       // the host's partition
+  sim::Scheduler* peer_sched = nullptr;  // a cross-pod peer's partition
+  std::uint64_t state = 0;
+  std::uint64_t fires = 0;
+};
+
+class Workload {
+ public:
+  Workload(const topo::Topology& topo, const topo::PartitionMap& map,
+           std::vector<sim::Scheduler*> partition_scheds, Knobs knobs)
+      : knobs_(knobs), actors_(topo.num_hosts()) {
+    const std::uint64_t n = topo.num_hosts();
+    for (std::uint64_t h = 0; h < n; ++h) {
+      Actor& a = actors_[h];
+      a.state = h * 0x9E3779B97F4A7C15ull + 1;
+      a.sched = partition_scheds[map.host_partition[h]];
+      // Cross-pod peer: half the fleet away — always a different pod.
+      const std::uint64_t peer = (h + n / 2) % n;
+      a.peer_sched = partition_scheds[map.host_partition[peer]];
+    }
+  }
+
+  void start() {
+    for (std::uint64_t h = 0; h < actors_.size(); ++h) {
+      // Phase-spread so the first window isn't one synchronized burst.
+      arm(h, static_cast<TimeNs>(h % static_cast<std::uint64_t>(
+                                         knobs_.interval)));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t events() const {
+    std::uint64_t total = 0;
+    for (const Actor& a : actors_) total += a.fires;
+    return total + cross_fired_;
+  }
+  [[nodiscard]] std::uint64_t sink() const {
+    return sink_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void arm(std::uint64_t h, TimeNs delay) {
+    Actor& a = actors_[h];
+    a.sched->schedule_at(a.sched->now() + delay, [this, h] { fire(h); });
+  }
+
+  void fire(std::uint64_t h) {
+    Actor& a = actors_[h];
+    a.state = spin(a.state, knobs_.work_rounds);
+    ++a.fires;
+    if (a.fires % knobs_.cross_every == 0) {
+      // A cross-pod probe: lands one fabric RTT later on the peer's
+      // partition; the receiver just burns the same kernel. The counter is
+      // only touched by the destination partition's drainer — but two
+      // *different* sources may target one destination, so keep it atomic.
+      const std::uint32_t rounds = knobs_.work_rounds;
+      a.peer_sched->schedule_at(a.sched->now() + 2 * usec(5),
+                                [this, seed = a.state, rounds] {
+                                  sink_fold(spin(seed, rounds));
+                                  cross_fired_.fetch_add(
+                                      1, std::memory_order_relaxed);
+                                });
+    }
+    arm(h, knobs_.interval);
+  }
+
+  void sink_fold(std::uint64_t v) {
+    sink_.fetch_xor(v, std::memory_order_relaxed);
+  }
+
+  Knobs knobs_;
+  std::vector<Actor> actors_;
+  std::atomic<std::uint64_t> cross_fired_{0};
+  std::atomic<std::uint64_t> sink_{0};
+};
+
+CellResult run_cell(const topo::Topology& topo, const topo::PartitionMap& map,
+                    std::uint64_t partitions, Knobs knobs) {
+  CellResult res;
+  res.hosts = topo.num_hosts();
+  res.partitions = partitions;
+
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t wall_ns = 0;
+
+  if (partitions <= 1) {
+    // The real pre-partitioning backend, not a 1-partition ParallelScheduler:
+    // this is the baseline every speedup is measured against.
+    sim::InlineScheduler sched;
+    std::vector<sim::Scheduler*> scheds(1, &sched);
+    topo::PartitionMap one;  // all hosts -> partition 0
+    one.num_partitions = 1;
+    one.host_partition.assign(topo.num_hosts(), 0);
+    Workload w(topo, one, scheds, knobs);
+    w.start();
+    sched.run_until(knobs.duration);
+    wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    res.workers = 1;
+    res.events = w.events();
+    res.wall_ns = wall_ns;
+    res.cp_ns = wall_ns;
+    sink = w.sink();
+  } else {
+    sim::ParallelConfig cfg;
+    cfg.partitions = static_cast<std::uint32_t>(partitions);
+    cfg.lookahead = map.cut_lookahead;
+    cfg.workers = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(partitions, hw));
+    cfg.measure_critical_path = true;
+    sim::ParallelScheduler ps(cfg);
+    std::vector<sim::Scheduler*> scheds;
+    for (std::uint32_t p = 0; p < cfg.partitions; ++p) {
+      scheds.push_back(&ps.partition(p));
+    }
+    Workload w(topo, map, scheds, knobs);
+    w.start();
+    ps.run_until(knobs.duration);
+    wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    res.workers = cfg.workers;
+    res.events = w.events();
+    res.cross = ps.cross_events();
+    res.windows = ps.sync_windows();
+    res.wall_ns = wall_ns;
+    res.cp_ns = std::max<std::uint64_t>(1, ps.critical_path_ns());
+    sink = w.sink();
+  }
+  if (sink == 0xDEADBEEF) std::printf("# sink %llu\n",
+                                      static_cast<unsigned long long>(sink));
+  return res;
+}
+
+double mps(std::uint64_t events, std::uint64_t ns) {
+  return ns == 0 ? 0.0
+                 : static_cast<double>(events) / (static_cast<double>(ns) / 1e9);
+}
+
+int run(int argc, char** argv) {
+  std::vector<std::uint64_t> hosts = {1024, 10240};
+  std::vector<std::uint64_t> partitions = {1, 2, 4, 8};
+  Knobs knobs;
+  std::string out = "BENCH_sim.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hosts") == 0 && i + 1 < argc) {
+      hosts = parse_list(argv[++i]);
+    } else if (std::strcmp(argv[i], "--partitions") == 0 && i + 1 < argc) {
+      partitions = parse_list(argv[++i]);
+    } else if (std::strcmp(argv[i], "--interval-us") == 0 && i + 1 < argc) {
+      knobs.interval = usec(std::stoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
+      knobs.duration = msec(std::stoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--work-rounds") == 0 && i + 1 < argc) {
+      knobs.work_rounds = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown arg: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  print_header("Partitioned scheduler scaling (events/sec)");
+  print_row_header({"hosts", "partitions", "workers", "events", "Mev/s wall",
+                    "Mev/s cp", "speedup wall", "speedup cp"});
+
+  std::string runs_json = "[";
+  bool first = true;
+  double headline_cp = 0.0;
+  double headline_wall = 0.0;
+  for (const std::uint64_t h : hosts) {
+    const topo::Topology topo = topo::build_clos(clos_for_hosts(h));
+    double base_wall_mps = 0.0;
+    double base_cp_mps = 0.0;
+    for (const std::uint64_t p : partitions) {
+      const topo::PartitionMap map = topo::build_pod_partitions(
+          topo, static_cast<std::uint32_t>(p));
+      const CellResult r = run_cell(topo, map, p, knobs);
+      const double wall = mps(r.events, r.wall_ns);
+      const double cp = mps(r.events, r.cp_ns);
+      if (p == 1) {
+        base_wall_mps = wall;
+        base_cp_mps = cp;
+      }
+      const double su_wall = base_wall_mps > 0 ? wall / base_wall_mps : 0.0;
+      const double su_cp = base_cp_mps > 0 ? cp / base_cp_mps : 0.0;
+      if (p == 4 && h >= 10000) {
+        headline_cp = su_cp;
+        headline_wall = su_wall;
+      }
+      std::printf("%-22llu%-22llu%-22llu%-22llu%-22.2f%-22.2f%-22.2f%-22.2f\n",
+                  static_cast<unsigned long long>(r.hosts),
+                  static_cast<unsigned long long>(r.partitions),
+                  static_cast<unsigned long long>(r.workers),
+                  static_cast<unsigned long long>(r.events), wall / 1e6,
+                  cp / 1e6, su_wall, su_cp);
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s{\"hosts\":%llu,\"partitions\":%llu,\"workers\":%llu,"
+          "\"events\":%llu,\"cross_events\":%llu,\"windows\":%llu,"
+          "\"events_per_sec\":%.0f,\"cp_events_per_sec\":%.0f,"
+          "\"speedup_wall\":%.2f,\"speedup_cp\":%.2f}",
+          first ? "" : ",", static_cast<unsigned long long>(r.hosts),
+          static_cast<unsigned long long>(r.partitions),
+          static_cast<unsigned long long>(r.workers),
+          static_cast<unsigned long long>(r.events),
+          static_cast<unsigned long long>(r.cross),
+          static_cast<unsigned long long>(r.windows), wall, cp, su_wall,
+          su_cp);
+      runs_json += buf;
+      first = false;
+    }
+  }
+  runs_json += ']';
+
+  BenchJson json("sim_scale");
+  json.param("cores", hw)
+      .param("interval_us", static_cast<std::uint64_t>(knobs.interval / 1000))
+      .param("duration_ms",
+             static_cast<std::uint64_t>(knobs.duration / 1000000))
+      .param("work_rounds", knobs.work_rounds)
+      .param("cross_every", knobs.cross_every)
+      .metric_raw("runs", runs_json)
+      .metric("speedup_cp_4p", headline_cp)
+      .metric("speedup_wall_4p", headline_wall);
+  if (!json.write_file(out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (cores=%u; on a single-core runner only the\n"
+              "critical-path columns can show the partitioning win)\n",
+              out.c_str(), hw);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rpm::bench
+
+int main(int argc, char** argv) { return rpm::bench::run(argc, argv); }

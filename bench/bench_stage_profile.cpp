@@ -66,7 +66,7 @@ CellResult run_cell(const topo::Topology& topo, const core::Controller& ctrl,
   constexpr std::size_t kBatch = 128;
   constexpr std::uint32_t kHosts = 64;
 
-  sim::EventScheduler sched;
+  sim::InlineScheduler sched;
   core::AnalyzerConfig cfg;
   cfg.period = sec(5);
   cfg.ingest.shards = 8;

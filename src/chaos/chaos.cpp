@@ -152,7 +152,7 @@ ChaosRunner::ChaosRunner(host::Cluster& cluster, core::RPingmesh& rpm,
     : cluster_(cluster), rpm_(rpm), injector_(injector) {}
 
 ChaosReport ChaosRunner::run(const ChaosPlan& plan) {
-  sim::EventScheduler& sched = cluster_.scheduler();
+  sim::Scheduler& sched = cluster_.scheduler();
   const TimeNs t0 = sched.now();
   const topo::Topology& topo = cluster_.topology();
 

@@ -9,7 +9,7 @@
 namespace rpm::core {
 
 Analyzer::Analyzer(const topo::Topology& topo, const Controller& controller,
-                   sim::EventScheduler& sched, AnalyzerConfig cfg)
+                   sim::Scheduler& sched, AnalyzerConfig cfg)
     : topo_(topo), sched_(sched), ingest_cfg_(cfg.ingest) {
   if (cfg.period <= 0) {
     throw std::invalid_argument("AnalyzerConfig: period must be > 0");

@@ -54,7 +54,7 @@ namespace rpm::core {
 class Analyzer {
  public:
   Analyzer(const topo::Topology& topo, const Controller& controller,
-           sim::EventScheduler& sched, AnalyzerConfig cfg = {});
+           sim::Scheduler& sched, AnalyzerConfig cfg = {});
 
   /// The ingestion endpoint. This is the Analyzer's entire public ingest
   /// surface: transport deliveries call sink().submit() (dedup by (host,
@@ -202,7 +202,7 @@ class Analyzer {
   void save_checkpoint();
 
   const topo::Topology& topo_;
-  sim::EventScheduler& sched_;
+  sim::Scheduler& sched_;
   // Copy of cfg.ingest so a crashed sink can be rebuilt (and because the
   // sink is constructed before the core that owns the full config).
   IngestConfig ingest_cfg_;

@@ -317,7 +317,7 @@ PinglistPullResponse serve_pinglist_pull(const Controller& controller,
 
 ControllerGroup::ControllerGroup(const topo::Topology& topo,
                                  const routing::EcmpRouter& router,
-                                 sim::EventScheduler& sched,
+                                 sim::Scheduler& sched,
                                  ControllerConfig ccfg, Config cfg)
     : sched_(sched), cfg_(cfg) {
   members_.push_back(std::make_unique<Controller>(topo, router, ccfg));

@@ -193,11 +193,11 @@ class ControllerGroup {
 
   ControllerGroup(const topo::Topology& topo,
                   const routing::EcmpRouter& router,
-                  sim::EventScheduler& sched, ControllerConfig ccfg)
+                  sim::Scheduler& sched, ControllerConfig ccfg)
       : ControllerGroup(topo, router, sched, std::move(ccfg), Config{}) {}
   ControllerGroup(const topo::Topology& topo,
                   const routing::EcmpRouter& router,
-                  sim::EventScheduler& sched, ControllerConfig ccfg,
+                  sim::Scheduler& sched, ControllerConfig ccfg,
                   Config cfg);
 
   [[nodiscard]] Controller& active() { return *members_[active_]; }
@@ -227,7 +227,7 @@ class ControllerGroup {
  private:
   void check_failover();
 
-  sim::EventScheduler& sched_;
+  sim::Scheduler& sched_;
   Config cfg_;
   std::vector<std::unique_ptr<Controller>> members_;
   std::vector<bool> crashed_;

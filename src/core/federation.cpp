@@ -46,7 +46,7 @@ void add_probe(obs::EvidenceChain& c, std::uint64_t id) {
 
 PodAnalyzer::PodAnalyzer(const topo::Topology& topo,
                          const Controller& controller,
-                         sim::EventScheduler& sched, AnalyzerConfig cfg,
+                         sim::Scheduler& sched, AnalyzerConfig cfg,
                          std::uint32_t pod, std::vector<HostId> hosts)
     : pod_(pod),
       hosts_(std::move(hosts)),
@@ -144,7 +144,7 @@ bool PodAnalyzer::restart_from_journal() {
 // ---------------------------------------------------------------------------
 
 GlobalAnalyzer::GlobalAnalyzer(const topo::Topology& topo,
-                               sim::EventScheduler& sched, Config cfg)
+                               sim::Scheduler& sched, Config cfg)
     : topo_(topo), sched_(sched), cfg_(std::move(cfg)) {
   if (cfg_.analyzer.period <= 0) {
     throw std::invalid_argument("GlobalAnalyzer: period must be positive");

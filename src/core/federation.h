@@ -57,7 +57,7 @@ namespace rpm::core {
 class PodAnalyzer {
  public:
   PodAnalyzer(const topo::Topology& topo, const Controller& controller,
-              sim::EventScheduler& sched, AnalyzerConfig cfg,
+              sim::Scheduler& sched, AnalyzerConfig cfg,
               std::uint32_t pod, std::vector<HostId> hosts);
 
   /// Where digests go (wire bytes accounted via pod_digest_wire_bytes).
@@ -116,7 +116,7 @@ class GlobalAnalyzer {
     std::uint64_t digest_dedup_window = 64;
   };
 
-  GlobalAnalyzer(const topo::Topology& topo, sim::EventScheduler& sched,
+  GlobalAnalyzer(const topo::Topology& topo, sim::Scheduler& sched,
                  Config cfg);
 
   /// Digest arrival (transport handler). Deduplicated per pod by seq;
@@ -180,7 +180,7 @@ class GlobalAnalyzer {
                     Problem& p, obs::EvidenceChain& c) const;
 
   const topo::Topology& topo_;
-  sim::EventScheduler& sched_;
+  sim::Scheduler& sched_;
   Config cfg_;
 
   std::vector<PodDigest> pending_;

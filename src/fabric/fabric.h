@@ -34,11 +34,16 @@
 #include "routing/ecmp.h"
 #include "sim/scheduler.h"
 #include "telemetry/metrics.h"
+#include "topo/partition.h"
 #include "topo/topology.h"
 
 namespace rpm::sketch {
 class LinkSketchBank;
 }  // namespace rpm::sketch
+
+namespace rpm::sim {
+class ParallelScheduler;
+}  // namespace rpm::sim
 
 namespace rpm::fabric {
 
@@ -170,7 +175,7 @@ struct FabricConfig {
 class Fabric {
  public:
   Fabric(const topo::Topology& topo, const routing::EcmpRouter& router,
-         sim::EventScheduler& sched, FabricConfig cfg = {});
+         sim::Scheduler& sched, FabricConfig cfg = {});
 
   // ---- packet plane ----
 
@@ -224,7 +229,7 @@ class Fabric {
 
   [[nodiscard]] const topo::Topology& topology() const { return topo_; }
   [[nodiscard]] const routing::EcmpRouter& router() const { return router_; }
-  [[nodiscard]] sim::EventScheduler& scheduler() { return sched_; }
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
   [[nodiscard]] const FabricConfig& config() const { return cfg_; }
 
   /// Marks routing-relevant state as changed; flow paths are re-resolved on
@@ -239,6 +244,17 @@ class Fabric {
   /// attachment (the owner detaches before destroying it).
   void attach_sketches(sketch::LinkSketchBank* bank) { sketches_ = bank; }
   [[nodiscard]] sketch::LinkSketchBank* sketches() const { return sketches_; }
+
+  /// Partition the packet plane (sim/parallel.h): delivery events are
+  /// scheduled on the destination RNIC's partition and per-packet drop
+  /// draws come from per-partition RNG streams keyed by the *source* RNIC's
+  /// partition — each partition's dispatch loop consumes its own stream, so
+  /// outcomes are identical for any worker-thread mapping. Both arguments
+  /// must outlive the fabric; pass (nullptr, nullptr) to detach. The fluid
+  /// plane keeps running as periodic events on the scheduler the fabric was
+  /// constructed with (partition 0 when that is a ParallelScheduler facade).
+  void set_partitioning(const topo::PartitionMap* map,
+                        sim::ParallelScheduler* psched);
 
  private:
   struct Flow {
@@ -257,6 +273,9 @@ class Fabric {
   };
 
   void resolve_flow_path(Flow& f);
+  /// Drop-lottery stream for a packet injected at `src` (partition-local
+  /// when partitioned, the shared legacy stream otherwise).
+  [[nodiscard]] Rng& draw_rng(RnicId src);
   [[nodiscard]] double effective_capacity(const topo::Link& l,
                                           const LinkState& s) const;
   [[nodiscard]] double ecn_mark_prob(const LinkState& s) const;
@@ -267,9 +286,12 @@ class Fabric {
 
   const topo::Topology& topo_;
   const routing::EcmpRouter& router_;
-  sim::EventScheduler& sched_;
+  sim::Scheduler& sched_;
   FabricConfig cfg_;
   Rng rng_;
+  const topo::PartitionMap* pmap_ = nullptr;       // optional, not owned
+  sim::ParallelScheduler* psched_ = nullptr;       // optional, not owned
+  std::vector<Rng> part_rng_;  // per-partition drop-lottery streams
 
   std::vector<LinkState> links_;
   std::vector<std::vector<AclRule>> acl_;  // per switch

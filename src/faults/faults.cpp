@@ -123,7 +123,7 @@ namespace {
 /// Builds a flapper that alternates down/up phases with the given dwell
 /// times, starting with "down" immediately.
 std::unique_ptr<sim::PeriodicTask> make_flapper(
-    sim::EventScheduler& sched, TimeNs down_time, TimeNs up_time,
+    sim::Scheduler& sched, TimeNs down_time, TimeNs up_time,
     std::function<void(bool down)> set) {
   if (down_time <= 0 || up_time <= 0) {
     throw std::invalid_argument("flapping: dwell times must be > 0");

@@ -6,7 +6,7 @@
 
 namespace rpm::host {
 
-HostModel::HostModel(HostId id, sim::EventScheduler& sched,
+HostModel::HostModel(HostId id, sim::Scheduler& sched,
                      sim::DeviceClock clock, Rng rng, HostParams params)
     : id_(id), sched_(sched), clock_(clock), rng_(rng), params_(params) {}
 

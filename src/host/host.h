@@ -31,7 +31,7 @@ struct HostParams {
 
 class HostModel {
  public:
-  HostModel(HostId id, sim::EventScheduler& sched, sim::DeviceClock clock,
+  HostModel(HostId id, sim::Scheduler& sched, sim::DeviceClock clock,
             Rng rng, HostParams params = {});
 
   [[nodiscard]] HostId id() const { return id_; }
@@ -58,11 +58,11 @@ class HostModel {
     return tracepoints_;
   }
 
-  [[nodiscard]] sim::EventScheduler& scheduler() { return sched_; }
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
 
  private:
   HostId id_;
-  sim::EventScheduler& sched_;
+  sim::Scheduler& sched_;
   sim::DeviceClock clock_;
   Rng rng_;
   HostParams params_;

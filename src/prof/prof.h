@@ -47,8 +47,9 @@
 #include "telemetry/metrics.h"
 
 namespace rpm::sim {
-class EventScheduler;
-}
+class Scheduler;
+class ParallelScheduler;
+}  // namespace rpm::sim
 
 namespace rpm::prof {
 
@@ -57,7 +58,7 @@ namespace rpm::prof {
 /// inside period.close), so totals overlap by design — this is a
 /// hierarchical profile, not a partition.
 enum class Stage : std::uint8_t {
-  kSimDispatch = 0,     // one EventScheduler callback execution
+  kSimDispatch = 0,     // one Scheduler callback execution
   kIngestSubmit,        // IngestSink submit + (pool) worker-side processing
   kIngestDrainBarrier,  // WorkerPoolSink barrier at period close
   kDrainTriage,         // analyze_period: classify + rnic_detect + attribute
@@ -71,8 +72,9 @@ enum class Stage : std::uint8_t {
   kTransportDeliver,    // one Channel handler invocation
   kSketchFlush,         // SketchExporter flushed a period's link sketches
   kPeriodClose,         // whole Analyzer close: drain -> verdict -> checkpoint
+  kSimSyncBarrier,      // ParallelScheduler cross-partition merge per window
 };
-inline constexpr std::size_t kNumStages = 14;
+inline constexpr std::size_t kNumStages = 15;
 
 /// Dotted display name, e.g. "sim.dispatch", "drain.vote".
 const char* stage_name(Stage s);
@@ -152,9 +154,14 @@ class Profiler {
   /// Install a dispatch observer on `sched` that folds every executed
   /// event's wall cost into sim.dispatch. The observer stays installed (and
   /// keeps paying two clock reads per event) until detach_scheduler; it
-  /// records nothing while the profiler is disabled.
-  void attach_scheduler(sim::EventScheduler& sched);
-  static void detach_scheduler(sim::EventScheduler& sched);
+  /// records nothing while the profiler is disabled. In a partitioned run
+  /// each worker thread records into its own buffer, so per-partition
+  /// dispatch cost folds deterministically; the ParallelScheduler overload
+  /// additionally hooks the per-window inbox merge as sim.sync_barrier.
+  void attach_scheduler(sim::Scheduler& sched);
+  void attach_scheduler(sim::ParallelScheduler& sched);
+  static void detach_scheduler(sim::Scheduler& sched);
+  static void detach_scheduler(sim::ParallelScheduler& sched);
 
   /// Deterministic fold of every thread buffer (order-independent).
   /// Readable while enabled and after disable().

@@ -29,7 +29,7 @@ std::optional<RnicId> rnic_of_gid(Gid gid) {
 }
 
 RnicDevice::RnicDevice(RnicId id, fabric::Fabric& fabric,
-                       sim::EventScheduler& sched, sim::DeviceClock clock,
+                       sim::Scheduler& sched, sim::DeviceClock clock,
                        Rng rng, RnicParams params)
     : id_(id),
       fabric_(fabric),

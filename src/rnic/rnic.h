@@ -99,7 +99,7 @@ struct RnicCounters {
 
 class RnicDevice {
  public:
-  RnicDevice(RnicId id, fabric::Fabric& fabric, sim::EventScheduler& sched,
+  RnicDevice(RnicId id, fabric::Fabric& fabric, sim::Scheduler& sched,
              sim::DeviceClock clock, Rng rng, RnicParams params = {});
 
   RnicDevice(const RnicDevice&) = delete;
@@ -198,7 +198,7 @@ class RnicDevice {
 
   RnicId id_;
   fabric::Fabric& fabric_;
-  sim::EventScheduler& sched_;
+  sim::Scheduler& sched_;
   sim::DeviceClock clock_;
   Rng rng_;
   RnicParams params_;

@@ -1,0 +1,196 @@
+// Partitioned parallel discrete-event scheduler.
+//
+// The Clos topology is partitioned (per pod, see topo::PartitionMap); each
+// partition owns its own event queue, sequence counter, and partition-local
+// clock, and is drained by exactly one worker thread per synchronization
+// window. Synchronization is conservative and null-message-free:
+//
+//   window_end = min(next event time across partitions) + lookahead
+//
+// where `lookahead` is the minimum link-propagation delay across cut edges.
+// All partitions advance in parallel to `window_end` (exclusive, except in
+// the final window of a run_until, which is inclusive of t_end), then a
+// barrier exchanges cross-partition events and the next window begins.
+//
+// Cross-partition traffic goes through per-edge outboxes: an event executing
+// in partition p that schedules into partition q appends to outbox[p][q]
+// stamped (time, src-partition, edge-seq). At the barrier each destination
+// merges its inbound events sorted by (time, src-partition, seq), so the
+// merge order — and therefore the whole simulation — is byte-identical for
+// any worker-thread count or partition->thread mapping. Events that would
+// land in a receiver's past (cross delay below the lookahead) are clamped to
+// the window boundary, deterministically.
+//
+// With partitions == 1 the window loop degenerates to the single-queue drain
+// and event order is identical to InlineScheduler.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace rpm::sim {
+
+struct ParallelConfig {
+  std::uint32_t partitions = 1;
+  /// Conservative sync window width; must be >= 1 ns. Use the topology's
+  /// minimum cut-edge propagation delay (topo::PartitionMap::cut_lookahead).
+  TimeNs lookahead = nsec(500);
+  /// Worker threads draining partitions each window (clamped to
+  /// [1, partitions]; 0 = one per partition). 1 = sequential round-robin —
+  /// identical output, no extra threads.
+  std::uint32_t workers = 1;
+  /// Record per-window per-partition drain wall time and accumulate the
+  /// critical path (sum over windows of the slowest partition's drain, plus
+  /// inbox merges): the run's wall-time lower bound with one core per
+  /// partition. Two clock reads per partition per window; off by default.
+  bool measure_critical_path = false;
+};
+
+class ParallelScheduler final : public Scheduler {
+ public:
+  explicit ParallelScheduler(ParallelConfig cfg);
+  ~ParallelScheduler() override;
+
+  [[nodiscard]] std::uint32_t num_partitions() const {
+    return static_cast<std::uint32_t>(parts_.size());
+  }
+  [[nodiscard]] TimeNs lookahead() const { return lookahead_; }
+  [[nodiscard]] std::uint32_t num_workers() const { return workers_; }
+
+  /// The per-partition Scheduler facade components hold. schedule_at targets
+  /// partition `p` (routed through the per-edge outbox when called from an
+  /// event executing in another partition); now() is partition-local.
+  /// run_until/run_all/step on a facade drive the whole scheduler.
+  [[nodiscard]] Scheduler& partition(std::uint32_t p) { return *parts_.at(p); }
+
+  // -- per-partition introspection (quiescent reads) --
+  [[nodiscard]] std::size_t partition_pending(std::uint32_t p) const;
+  [[nodiscard]] std::uint64_t partition_executed(std::uint32_t p) const;
+  /// Cross-partition events merged so far / sync windows run so far.
+  [[nodiscard]] std::uint64_t cross_events() const { return cross_events_; }
+  [[nodiscard]] std::uint64_t sync_windows() const { return windows_; }
+  /// Accumulated critical path (see ParallelConfig::measure_critical_path);
+  /// 0 unless measurement was enabled.
+  [[nodiscard]] std::uint64_t critical_path_ns() const {
+    return critical_path_ns_;
+  }
+
+  /// Wall-clock barrier observer: called once per sync window with the time
+  /// the coordinating thread spent merging cross-partition inboxes at the
+  /// barrier (the profiler records it as sim.sync_barrier).
+  using BarrierObserver = std::function<void(std::uint64_t wall_ns)>;
+  void set_barrier_observer(BarrierObserver obs) {
+    barrier_observer_ = std::move(obs);
+  }
+
+  // -- Scheduler interface (the global facade) --
+  // Scheduling targets partition 0, the control-plane partition, unless
+  // called from inside an event (then the event's own partition is the
+  // source and partition 0 the destination, via the outbox). now() inside an
+  // event is the executing partition's clock; quiescent, the global clock.
+  [[nodiscard]] TimeNs now() const override;
+  EventHandle schedule_at(TimeNs t, EventFn fn) override;
+  void run_until(TimeNs t_end) override;
+  void run_all() override;
+  bool step() override;
+  [[nodiscard]] std::size_t pending_events() const override;
+  [[nodiscard]] std::uint64_t executed_events() const override;
+  void set_dispatch_observer(DispatchObserver obs) override;
+
+ private:
+  class Pool;
+
+  struct Entry {
+    TimeNs time;
+    std::uint64_t seq;
+    std::shared_ptr<detail::EventCtl> ctl;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  /// One cross-partition event in an outbox (seq is per (src, dst) edge).
+  struct CrossEvent {
+    TimeNs time;
+    std::uint64_t seq;
+    std::shared_ptr<detail::EventCtl> ctl;
+    EventFn fn;
+  };
+
+  /// One partition: queue + clock + outboxes, plus the Scheduler facade
+  /// components hold.
+  struct Part final : Scheduler {
+    Part(ParallelScheduler* o, std::uint32_t i) : owner(o), id(i) {}
+
+    [[nodiscard]] TimeNs now() const override { return local_now; }
+    EventHandle schedule_at(TimeNs t, EventFn fn) override {
+      return owner->route(id, t, std::move(fn));
+    }
+    void run_until(TimeNs t_end) override { owner->run_until(t_end); }
+    void run_all() override { owner->run_all(); }
+    bool step() override { return owner->step(); }
+    /// Partition-local queue depth (the global facade aggregates).
+    [[nodiscard]] std::size_t pending_events() const override {
+      return queue.size();
+    }
+    [[nodiscard]] std::uint64_t executed_events() const override {
+      return executed;
+    }
+    void set_dispatch_observer(DispatchObserver obs) override {
+      owner->set_dispatch_observer(std::move(obs));
+    }
+    [[nodiscard]] std::uint32_t partition_id() const override { return id; }
+
+    ParallelScheduler* owner;
+    std::uint32_t id;
+    TimeNs local_now = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t window_busy_ns = 0;  // this window's drain wall time
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue;
+    std::vector<std::vector<CrossEvent>> outbox;  // indexed by dst partition
+    std::vector<std::uint64_t> edge_seq;          // per (this, dst) edge
+  };
+
+  EventHandle route(std::uint32_t target, TimeNs t, EventFn fn);
+  void drain_partition(Part& p, TimeNs window_end, bool inclusive);
+  void drain_claimed(TimeNs window_end, bool inclusive,
+                     std::atomic<std::uint32_t>& next);
+  void run_window(TimeNs window_end, bool inclusive);
+  void merge_inboxes();
+  [[nodiscard]] TimeNs min_next_event() const;
+
+  static constexpr TimeNs kNever = std::numeric_limits<TimeNs>::max();
+
+  std::vector<std::unique_ptr<Part>> parts_;
+  TimeNs lookahead_;
+  std::uint32_t workers_;
+  bool measure_critical_path_;
+  TimeNs global_now_ = 0;
+  bool running_ = false;
+  std::uint64_t windows_ = 0;
+  std::uint64_t cross_events_ = 0;
+  std::uint64_t critical_path_ns_ = 0;
+  DispatchObserver dispatch_observer_;
+  BarrierObserver barrier_observer_;
+  std::unique_ptr<Pool> pool_;
+  // merge scratch: inbound events tagged with their source partition
+  struct TaggedCross {
+    TimeNs time;
+    std::uint32_t src;
+    std::uint64_t seq;
+    std::shared_ptr<detail::EventCtl> ctl;
+    EventFn fn;
+  };
+  std::vector<TaggedCross> merge_scratch_;
+};
+
+}  // namespace rpm::sim

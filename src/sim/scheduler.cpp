@@ -6,18 +6,24 @@
 
 namespace rpm::sim {
 
-void EventScheduler::schedule_at(TimeNs t, EventFn fn) {
+EventHandle InlineScheduler::schedule_at(TimeNs t, EventFn fn) {
   if (!fn) throw std::invalid_argument("schedule_at: empty callback");
   if (t < now_) t = now_;
-  queue_.push(Entry{t, next_seq_++, std::move(fn)});
+  auto ctl = std::make_shared<detail::EventCtl>();
+  queue_.push(Entry{t, next_seq_++, ctl, std::move(fn)});
+  return EventHandle(std::move(ctl));
 }
 
-void EventScheduler::schedule_after(TimeNs delay, EventFn fn) {
-  schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
-}
-
-void EventScheduler::execute(Entry& e) {
+void InlineScheduler::execute(Entry& e) {
   now_ = e.time;
+  // Claim the event: a concurrently-held EventHandle that already cancelled
+  // it wins, and the entry is skipped without running or counting.
+  std::uint8_t expected = detail::EventCtl::kPending;
+  if (!e.ctl->state.compare_exchange_strong(expected, detail::EventCtl::kDone,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+    return;
+  }
   ++executed_;
   // Move the callback out before invoking: it may schedule more events,
   // which mutates the queue.
@@ -28,13 +34,13 @@ void EventScheduler::execute(Entry& e) {
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
-    dispatch_observer_(static_cast<std::uint64_t>(ns));
+    dispatch_observer_(0, static_cast<std::uint64_t>(ns));
   } else {
     fn();
   }
 }
 
-void EventScheduler::run_until(TimeNs t_end) {
+void InlineScheduler::run_until(TimeNs t_end) {
   while (!queue_.empty() && queue_.top().time <= t_end) {
     // priority_queue::top() is const; the Entry must be moved out to pop
     // before running so re-entrant scheduling is safe.
@@ -45,12 +51,12 @@ void EventScheduler::run_until(TimeNs t_end) {
   if (t_end > now_) now_ = t_end;
 }
 
-void EventScheduler::run_all() {
+void InlineScheduler::run_all() {
   while (step()) {
   }
 }
 
-bool EventScheduler::step() {
+bool InlineScheduler::step() {
   if (queue_.empty()) return false;
   Entry e = std::move(const_cast<Entry&>(queue_.top()));
   queue_.pop();
@@ -58,48 +64,40 @@ bool EventScheduler::step() {
   return true;
 }
 
-PeriodicTask::PeriodicTask(EventScheduler& sched, TimeNs period, EventFn fn)
-    : sched_(sched),
-      state_(std::make_shared<State>(State{period, std::move(fn), false, 0})) {
-  if (state_->period <= 0) {
-    throw std::invalid_argument("PeriodicTask: period <= 0");
-  }
-  if (!state_->fn) throw std::invalid_argument("PeriodicTask: empty callback");
+PeriodicTask::PeriodicTask(Scheduler& sched, TimeNs period, EventFn fn)
+    : sched_(sched), period_(period), fn_(std::move(fn)) {
+  if (period_ <= 0) throw std::invalid_argument("PeriodicTask: period <= 0");
+  if (!fn_) throw std::invalid_argument("PeriodicTask: empty callback");
 }
 
 PeriodicTask::~PeriodicTask() { cancel(); }
 
-// Self-rescheduling event bound to a generation; holds the state alive by
-// shared_ptr so a destroyed PeriodicTask never dangles.
-EventFn PeriodicTask::make_fire(std::shared_ptr<State> st,
-                                EventScheduler* sched, std::uint64_t gen) {
-  return [st, sched, gen] {
-    if (!st->running || gen != st->generation) return;
-    st->fn();
-    if (!st->running || gen != st->generation) return;
-    sched->schedule_after(st->period, make_fire(st, sched, gen));
-  };
+void PeriodicTask::arm(TimeNs delay) {
+  pending_ = sched_.schedule_after(delay, [this] { fire(); });
+}
+
+void PeriodicTask::fire() {
+  fn_();
+  // Re-arm unless the callback cancelled us — or cancelled AND restarted,
+  // in which case start() already queued a fresh firing (pending_ refers to
+  // it and is still pending; the event this closure belongs to is kDone).
+  if (running_ && !pending_.pending()) arm(period_);
 }
 
 void PeriodicTask::start(TimeNs first_delay) {
-  if (state_->running) return;
-  state_->running = true;
-  const std::uint64_t gen = ++state_->generation;
-  sched_.schedule_after(first_delay, make_fire(state_, &sched_, gen));
+  if (running_) return;
+  running_ = true;
+  arm(first_delay);
 }
 
 void PeriodicTask::cancel() {
-  state_->running = false;
-  ++state_->generation;
+  running_ = false;
+  pending_.cancel();
 }
 
 void PeriodicTask::set_period(TimeNs period) {
   if (period <= 0) throw std::invalid_argument("set_period: period <= 0");
-  state_->period = period;
+  period_ = period;
 }
-
-TimeNs PeriodicTask::period() const { return state_->period; }
-
-bool PeriodicTask::running() const { return state_->running; }
 
 }  // namespace rpm::sim

@@ -16,7 +16,7 @@ constexpr std::uint64_t kSketchTraceBase = 1ull << 62;
 
 }  // namespace
 
-SketchExporter::SketchExporter(sim::EventScheduler& sched,
+SketchExporter::SketchExporter(sim::Scheduler& sched,
                                transport::Channel& channel,
                                LinkSketchBank& bank, SketchExporterConfig cfg)
     : sched_(sched),

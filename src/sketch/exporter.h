@@ -26,7 +26,7 @@ struct SketchExporterConfig {
 
 class SketchExporter {
  public:
-  SketchExporter(sim::EventScheduler& sched, transport::Channel& channel,
+  SketchExporter(sim::Scheduler& sched, transport::Channel& channel,
                  LinkSketchBank& bank, SketchExporterConfig cfg = {});
   ~SketchExporter();
   SketchExporter(const SketchExporter&) = delete;
@@ -50,7 +50,7 @@ class SketchExporter {
   void spill_report(SketchReport&& rep);
   void drain_spill();
 
-  sim::EventScheduler& sched_;
+  sim::Scheduler& sched_;
   transport::Channel& channel_;
   LinkSketchBank& bank_;
   SketchExporterConfig cfg_;

@@ -198,7 +198,7 @@ std::string to_json(const Snapshot& snap) {
   return out;
 }
 
-PeriodicDumper::PeriodicDumper(sim::EventScheduler& sched, TimeNs period,
+PeriodicDumper::PeriodicDumper(sim::Scheduler& sched, TimeNs period,
                                Sink sink, ExportFormat format,
                                MetricsRegistry* reg)
     : reg_(reg),

@@ -35,7 +35,7 @@ class PeriodicDumper {
  public:
   using Sink = std::function<void(const std::string&)>;
 
-  PeriodicDumper(sim::EventScheduler& sched, TimeNs period, Sink sink,
+  PeriodicDumper(sim::Scheduler& sched, TimeNs period, Sink sink,
                  ExportFormat format = ExportFormat::kPrometheus,
                  MetricsRegistry* reg = &registry());
   ~PeriodicDumper();

@@ -1,0 +1,55 @@
+#include "topo/partition.h"
+
+#include <algorithm>
+
+namespace rpm::topo {
+
+PartitionMap build_pod_partitions(const Topology& topo,
+                                  std::uint32_t partitions) {
+  // Count pods among pod-bearing tiers (ToR/agg/rail; spine `pod` means
+  // plane, see SwitchInfo).
+  std::uint32_t num_pods = 0;
+  for (const SwitchInfo& s : topo.switches()) {
+    if (s.tier == SwitchTier::kSpine) continue;
+    num_pods = std::max(num_pods, s.pod + 1);
+  }
+  if (num_pods == 0) num_pods = 1;
+
+  PartitionMap map;
+  map.num_partitions = std::max<std::uint32_t>(
+      1, std::min<std::uint32_t>(partitions, num_pods));
+
+  map.switch_partition.resize(topo.num_switches());
+  for (const SwitchInfo& s : topo.switches()) {
+    // Pods round-robin; the pod-less spine tier spreads by switch id so no
+    // single partition serializes every cross-pod hop.
+    const std::uint32_t key =
+        s.tier == SwitchTier::kSpine ? s.id.value : s.pod;
+    map.switch_partition[s.id.value] = key % map.num_partitions;
+  }
+
+  // Hosts and RNICs follow their attachment ToR's partition, which keeps
+  // every RNIC<->ToR link internal to one partition.
+  map.host_partition.assign(topo.num_hosts(), 0);
+  map.rnic_partition.resize(topo.num_rnics());
+  for (const RnicInfo& r : topo.rnics()) {
+    const std::uint32_t p = map.switch_partition[r.tor.value];
+    map.rnic_partition[r.id.value] = p;
+    map.host_partition[r.host.value] = p;
+  }
+
+  // Lookahead: min propagation over cut edges (fallback: over all links).
+  TimeNs min_cut = 0;
+  TimeNs min_all = 0;
+  for (const Link& l : topo.links()) {
+    if (min_all == 0 || l.propagation < min_all) min_all = l.propagation;
+    if (!map.is_cut(l)) continue;
+    ++map.cut_links;
+    if (min_cut == 0 || l.propagation < min_cut) min_cut = l.propagation;
+  }
+  map.cut_lookahead = min_cut != 0 ? min_cut : min_all;
+  if (map.cut_lookahead < 1) map.cut_lookahead = 1;
+  return map;
+}
+
+}  // namespace rpm::topo

@@ -1,0 +1,51 @@
+// Topology partitioning for the parallel simulator.
+//
+// A PartitionMap assigns every host, RNIC, and switch to one of N simulation
+// partitions. The pod is the cut unit: all ToRs/aggs of a pod — and every
+// host and RNIC under them — land in the same partition (pods are the
+// natural Clos subtree: intra-pod traffic never crosses a partition), pods
+// are distributed round-robin, and the pod-less spine tier is spread across
+// partitions by switch id. Partition 0 doubles as the control-plane
+// partition (Controller/Analyzer/transport events).
+//
+// The map also carries the conservative-sync lookahead: the minimum link
+// propagation delay over *cut edges* (links whose endpoints live in
+// different partitions). A probe crossing a pod boundary is in flight for at
+// least that long, so partitions may safely advance in windows of that width
+// (see sim/parallel.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "topo/topology.h"
+
+namespace rpm::topo {
+
+struct PartitionMap {
+  std::uint32_t num_partitions = 1;
+  std::vector<std::uint32_t> host_partition;    // indexed by HostId
+  std::vector<std::uint32_t> rnic_partition;    // indexed by RnicId
+  std::vector<std::uint32_t> switch_partition;  // indexed by SwitchId
+  /// Minimum propagation delay across cut edges; the safe conservative
+  /// lookahead. Falls back to the topology-wide minimum when nothing is cut
+  /// (num_partitions == 1).
+  TimeNs cut_lookahead = 0;
+  std::size_t cut_links = 0;  // directed links crossing a partition boundary
+
+  [[nodiscard]] std::uint32_t partition_of(NodeRef n) const {
+    return n.is_host() ? host_partition[n.as_host().value]
+                       : switch_partition[n.as_switch().value];
+  }
+  [[nodiscard]] bool is_cut(const Link& l) const {
+    return partition_of(l.from) != partition_of(l.to);
+  }
+};
+
+/// Build the per-pod partition map described above. `partitions` is clamped
+/// to [1, number of pods] — more partitions than pods would leave some empty.
+PartitionMap build_pod_partitions(const Topology& topo,
+                                  std::uint32_t partitions);
+
+}  // namespace rpm::topo

@@ -12,7 +12,7 @@ namespace rpm::transport {
 // Channel
 
 struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
-  Impl(sim::EventScheduler& s, std::string n, Rng r, ChannelConfig c,
+  Impl(sim::Scheduler& s, std::string n, Rng r, ChannelConfig c,
        std::shared_ptr<const Degradation> d)
       : sched(s), name(std::move(n)), rng(std::move(r)), cfg(c),
         deg(std::move(d)) {
@@ -50,7 +50,11 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
     bool delivered = false;
   };
 
-  sim::EventScheduler& sched;
+  sim::Scheduler& sched;
+  // Where delivery events (handler invocations) run; defaults to the
+  // sender's scheduler, rebound by bind_delivery_scheduler() to the
+  // receiver's partition in partitioned runs.
+  sim::Scheduler* deliver_sched = &sched;
   std::string name;
   Rng rng;
   ChannelConfig cfg;
@@ -147,7 +151,7 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
       if (cfg.reorder_prob > 0.0 && rng.chance(cfg.reorder_prob)) {
         lat += cfg.reorder_extra;
       }
-      sched.schedule_after(lat, [weak, m] {
+      deliver_sched->schedule_at(sched.now() + lat, [weak, m] {
         auto self = weak.lock();
         if (!self || m->cancelled) return;
         if (self->peer_is_down) {
@@ -211,7 +215,7 @@ struct Channel::Impl : std::enable_shared_from_this<Channel::Impl> {
   }
 };
 
-Channel::Channel(sim::EventScheduler& sched, std::string name, Rng rng,
+Channel::Channel(sim::Scheduler& sched, std::string name, Rng rng,
                  ChannelConfig cfg,
                  std::shared_ptr<const Degradation> degradation)
     : impl_(std::make_shared<Impl>(sched, std::move(name), std::move(rng),
@@ -243,6 +247,10 @@ std::uint64_t Channel::send(std::any payload, Bytes wire_bytes) {
 
 void Channel::set_handler(HandlerFn handler) {
   impl_->handler = std::move(handler);
+}
+
+void Channel::bind_delivery_scheduler(sim::Scheduler& sched) {
+  impl_->deliver_sched = &sched;
 }
 
 void Channel::set_on_expire(ExpireFn fn) { impl_->on_expire = std::move(fn); }
@@ -296,7 +304,7 @@ const ChannelConfig& Channel::config() const { return impl_->cfg; }
 // ---------------------------------------------------------------------------
 // RpcChannel
 
-RpcChannel::RpcChannel(sim::EventScheduler& sched, std::string name, Rng rng,
+RpcChannel::RpcChannel(sim::Scheduler& sched, std::string name, Rng rng,
                        ChannelConfig cfg,
                        std::shared_ptr<const Degradation> degradation,
                        ServerFn server)
@@ -359,7 +367,7 @@ std::size_t RpcChannel::pending_calls() const { return pending_->size(); }
 // ---------------------------------------------------------------------------
 // ControlPlane
 
-ControlPlane::ControlPlane(sim::EventScheduler& sched, Rng rng,
+ControlPlane::ControlPlane(sim::Scheduler& sched, Rng rng,
                            ChannelConfig defaults)
     : sched_(sched),
       rng_(std::move(rng)),

@@ -13,7 +13,7 @@
 //   * at-least-once retry with exponential backoff and an attempt cap,
 //   * a bounded in-flight window with drop-oldest backpressure,
 //
-// all on the shared `sim::EventScheduler` clock with a per-channel forked
+// all on the shared `sim::Scheduler` clock with a per-channel forked
 // `Rng`, so runs stay fully deterministic. Retries mean *duplicates*:
 // receivers must deduplicate (the Analyzer suppresses repeated batch
 // sequence numbers; Controller RPCs are idempotent).
@@ -112,7 +112,7 @@ class Channel {
   /// Observer invoked when the sender learns a message was acked.
   using AckedFn = std::function<void(std::uint64_t seq)>;
 
-  Channel(sim::EventScheduler& sched, std::string name, Rng rng,
+  Channel(sim::Scheduler& sched, std::string name, Rng rng,
           ChannelConfig cfg, std::shared_ptr<const Degradation> degradation);
   ~Channel();
   Channel(const Channel&) = delete;
@@ -135,6 +135,14 @@ class Channel {
   /// Sender-side handler swap (nullptr detaches: messages still count as
   /// delivered but are discarded). The consumer calls this once at setup.
   void set_handler(HandlerFn handler);
+
+  /// Bind the receiving endpoint to a partition: delivery events (the
+  /// handler invocations) are scheduled on `sched` instead of the channel's
+  /// construction scheduler. Pass a ParallelScheduler::partition(p) facade
+  /// to make a cross-partition channel's handler run on the receiver's
+  /// partition clock; retry timers and ack bookkeeping stay on the sender's
+  /// scheduler. Call before traffic flows.
+  void bind_delivery_scheduler(sim::Scheduler& sched);
 
   /// Invoked when a message exhausts max_attempts without an ack (or is
   /// abandoned by backpressure / cancel_unacked), with the payload returned.
@@ -198,7 +206,7 @@ class RpcChannel {
   /// Client completion. Mutable payload so large responses can be moved out.
   using ResponseFn = std::function<void(std::any& response)>;
 
-  RpcChannel(sim::EventScheduler& sched, std::string name, Rng rng,
+  RpcChannel(sim::Scheduler& sched, std::string name, Rng rng,
              ChannelConfig cfg, std::shared_ptr<const Degradation> degradation,
              ServerFn server);
   ~RpcChannel();
@@ -241,7 +249,7 @@ class RpcChannel {
 /// Cluster; faults degrade the whole plane through set_degradation().
 class ControlPlane {
  public:
-  ControlPlane(sim::EventScheduler& sched, Rng rng, ChannelConfig defaults = {});
+  ControlPlane(sim::Scheduler& sched, Rng rng, ChannelConfig defaults = {});
 
   /// Create (and own) a channel; each gets an independent forked Rng stream.
   Channel& make_channel(std::string name, Channel::HandlerFn handler,
@@ -259,7 +267,7 @@ class ControlPlane {
   }
 
  private:
-  sim::EventScheduler& sched_;
+  sim::Scheduler& sched_;
   Rng rng_;
   ChannelConfig defaults_;
   std::shared_ptr<Degradation> degradation_;

@@ -99,7 +99,7 @@ class AnalyzerTest : public ::testing::Test {
 
   topo::Topology topo_;
   routing::EcmpRouter router_;
-  sim::EventScheduler sched_;
+  sim::InlineScheduler sched_;
   Controller ctrl_;
   Analyzer analyzer_;
   std::uint64_t next_id_ = 1;

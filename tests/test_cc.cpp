@@ -61,7 +61,7 @@ class CcTest : public ::testing::Test {
 
   topo::Topology topo_;
   routing::EcmpRouter router_;
-  sim::EventScheduler sched_;
+  sim::InlineScheduler sched_;
   fabric::Fabric fab_;
 };
 

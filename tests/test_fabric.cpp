@@ -55,7 +55,7 @@ class FabricTest : public ::testing::Test {
 
   topo::Topology topo_;
   routing::EcmpRouter router_;
-  sim::EventScheduler sched_;
+  sim::InlineScheduler sched_;
   Fabric fab_;
 };
 

@@ -229,7 +229,7 @@ TEST(Federation, GlobalDedupWindowSurvivesJournalRestart) {
   // crash + journal restore: the reloaded (pod, seq) windows keep retried
   // history out of the vote tallies.
   const topo::Topology topo = topo::build_clos(clos_cfg());
-  sim::EventScheduler sched;
+  sim::InlineScheduler sched;
   core::StateJournal journal;
   core::GlobalAnalyzer::Config cfg;
   cfg.analyzer.period = sec(5);

@@ -28,7 +28,7 @@ double mean_delay(HostModel& h, int n = 3000) {
 }
 
 TEST(HostModel, DelayGrowsWithLoad) {
-  sim::EventScheduler sched;
+  sim::InlineScheduler sched;
   HostModel h(HostId{0}, sched, sim::DeviceClock{}, Rng(1));
   h.set_cpu_load(0.1);
   const double idle = mean_delay(h);
@@ -43,7 +43,7 @@ TEST(HostModel, DelayGrowsWithLoad) {
 }
 
 TEST(HostModel, HealthyHostDelayIsMicroseconds) {
-  sim::EventScheduler sched;
+  sim::InlineScheduler sched;
   HostModel h(HostId{0}, sched, sim::DeviceClock{}, Rng(1));
   h.set_cpu_load(0.2);
   EXPECT_LT(mean_delay(h), static_cast<double>(usec(50)));
@@ -52,7 +52,7 @@ TEST(HostModel, HealthyHostDelayIsMicroseconds) {
 TEST(HostModel, StarvationProducesProbeTimeoutScaleStalls) {
   // Figure 6 (right): a service occupying the Agent's CPU causes stalls
   // longer than the 500 ms probe timeout.
-  sim::EventScheduler sched;
+  sim::InlineScheduler sched;
   HostModel h(HostId{0}, sched, sim::DeviceClock{}, Rng(1));
   h.set_cpu_load(1.0);
   int huge = 0;
@@ -64,14 +64,14 @@ TEST(HostModel, StarvationProducesProbeTimeoutScaleStalls) {
 }
 
 TEST(HostModel, LoadValidation) {
-  sim::EventScheduler sched;
+  sim::InlineScheduler sched;
   HostModel h(HostId{0}, sched, sim::DeviceClock{}, Rng(1));
   EXPECT_THROW(h.set_cpu_load(-0.1), std::invalid_argument);
   EXPECT_THROW(h.set_cpu_load(1.1), std::invalid_argument);
 }
 
 TEST(HostModel, DownFlag) {
-  sim::EventScheduler sched;
+  sim::InlineScheduler sched;
   HostModel h(HostId{0}, sched, sim::DeviceClock{}, Rng(1));
   EXPECT_FALSE(h.is_down());
   h.set_down(true);

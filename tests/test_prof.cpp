@@ -247,7 +247,7 @@ TEST_F(ProfTest, ChromeEventsEmitPid3Tracks) {
 }
 
 TEST_F(ProfTest, SchedulerDispatchHookRecordsAndDetaches) {
-  sim::EventScheduler sched;
+  sim::InlineScheduler sched;
   profiler().attach_scheduler(sched);
   profiler().enable();
   int fired = 0;

@@ -221,7 +221,7 @@ TEST(SketchStore, DeduplicatesByExporterAndSeq) {
 }
 
 TEST(SketchExporter, FlushesPeriodicallyAndSpillsThroughOutage) {
-  sim::EventScheduler sched;
+  sim::InlineScheduler sched;
   transport::ChannelConfig cc;
   cc.base_latency = usec(50);
   cc.latency_jitter = 0;

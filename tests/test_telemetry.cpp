@@ -363,7 +363,7 @@ TEST(Export, DeterministicAcrossIdenticalRegistries) {
 // ---- periodic dumper on the sim clock ----
 
 TEST(Export, PeriodicDumperFollowsSimClock) {
-  sim::EventScheduler sched;
+  sim::InlineScheduler sched;
   MetricsRegistry reg;
   Counter ticks = reg.counter("t_ticks_total", "ticks");
   std::vector<std::string> dumps;
